@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: all build test race bench cover fuzz figures clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/pvm/ ./internal/md/ ./internal/sciddle/ ./internal/decomp/
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+cover:
+	$(GO) test ./internal/... -cover
+
+fuzz:
+	$(GO) test ./internal/pvm/ -run xxx -fuzz FuzzBufferUnmarshal -fuzztime 15s
+	$(GO) test ./internal/sciddle/idl/ -run xxx -fuzz FuzzParse -fuzztime 15s
+	$(GO) test ./internal/molecule/ -run xxx -fuzz FuzzRead -fuzztime 15s
+
+# Regenerate every paper table and figure at full problem scale (minutes).
+figures:
+	$(GO) run ./cmd/figures -scale 1 -out out
+
+# Regenerate the Sciddle stubs from the IDL.
+stubs:
+	$(GO) run ./cmd/sciddlegen -pkg opalrpc -o internal/md/opalrpc/opalrpc.go internal/md/opal.idl
+
+clean:
+	rm -rf out

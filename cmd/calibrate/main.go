@@ -1,0 +1,68 @@
+// Command calibrate runs the paper's factorial calibration experiment on
+// the virtual Cray J90 and fits the analytic model by least squares
+// (Sections 2.3 and 2.5), printing the Figure 4 comparison of measured
+// versus modelled execution times and the fitted platform parameters.
+//
+// Examples:
+//
+//	calibrate                    # the reduced 7x2^(3-1) design at scale 0.25
+//	calibrate -design full       # all 84 cases
+//	calibrate -scale 1           # the paper's full problem sizes (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"opalperf/internal/harness"
+)
+
+func main() {
+	var (
+		design  = flag.String("design", "fraction", "experimental design: fraction (7x2^(3-1)) or full (84 cases)")
+		scale   = flag.Float64("scale", 0.25, "problem size scale factor (1 = paper sizes)")
+		steps   = flag.Int("steps", 10, "simulation steps per case")
+		effects = flag.Bool("effects", false, "run the 2^4 effect analysis (Jain ch. 17)")
+	)
+	flag.Parse()
+
+	suite := harness.NewSuite(harness.Sizes(*scale))
+	suite.Steps = *steps
+
+	fmt.Println(harness.ParameterSpaceTable(suite))
+
+	cases := suite.FullCases()
+	if *design == "fraction" {
+		var err error
+		cases, err = suite.FractionCases()
+		if err != nil {
+			fatal(err)
+		}
+	} else if *design != "full" {
+		fatal(fmt.Errorf("unknown design %q", *design))
+	}
+	fmt.Printf("running %d calibration cases on the virtual %s...\n\n", len(cases), suite.Platform.Name)
+
+	rep, err := suite.Calibrate(cases)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(harness.FittedParamsTable(rep.Machine))
+	fmt.Println(harness.CalibrationTable(rep))
+
+	if *effects {
+		fmt.Println("running the 2^4 effect design...")
+		analyses, err := suite.MeasureEffects()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(harness.EffectsReport(analyses))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "calibrate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,206 @@
+// Command opal runs one Opal molecular simulation on a virtual platform
+// and prints the per-step physics and the measured execution-time
+// breakdown — the instrumented run at the heart of the paper's
+// methodology.
+//
+// Examples:
+//
+//	opal -platform j90 -size medium -servers 4 -steps 10
+//	opal -platform fast -size large -cutoff 10 -update 10 -servers 7
+//	opal -size small -servers 0            # the serial Opal 2.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"opalperf/internal/harness"
+	"opalperf/internal/md"
+	"opalperf/internal/molecule"
+	"opalperf/internal/pairlist"
+	"opalperf/internal/platform"
+	"opalperf/internal/report"
+	"opalperf/internal/sciddle"
+	"opalperf/internal/trace"
+)
+
+func main() {
+	var (
+		plKey      = flag.String("platform", "j90", "platform: "+strings.Join(platform.Keys(), ", "))
+		size       = flag.String("size", "medium", "problem size: small, medium, large")
+		scale      = flag.Float64("scale", 1.0, "problem size scale factor (<1 for quick runs)")
+		servers    = flag.Int("servers", 4, "computation servers (0 = serial Opal 2.6)")
+		steps      = flag.Int("steps", 10, "simulation steps")
+		cutoff     = flag.Float64("cutoff", harness.NoCutoff, "cut-off radius in Angstrom (60 = ineffective)")
+		update     = flag.Int("update", 1, "steps between pair-list updates (1 = full, 10 = partial)")
+		strategy   = flag.String("strategy", "lcg", "pair distribution: lcg, round-robin, folded")
+		accounting = flag.Bool("accounting", true, "barrier-separated timing (Section 3.3)")
+		dynamics   = flag.Bool("dynamics", false, "leapfrog dynamics instead of energy minimization")
+		verbose    = flag.Bool("v", false, "print every simulation step")
+		timeline   = flag.Bool("timeline", false, "draw the per-process activity timeline")
+		metrics    = flag.Bool("metrics", false, "print the middleware-level metrics (Section 3.3)")
+		molFile    = flag.String("molecule", "", "load the complex from a file instead of -size")
+		saveFile   = flag.String("save", "", "save the complex to a file before running")
+		resumeFile = flag.String("resume", "", "resume from a checkpoint file")
+		ckptFile   = flag.String("checkpoint", "", "write a checkpoint file after the run")
+		xyzFile    = flag.String("xyz", "", "write an XYZ trajectory of the run")
+	)
+	flag.Parse()
+
+	pl, err := platform.ByName(*plKey)
+	if err != nil {
+		fatal(err)
+	}
+	strat, err := pairlist.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	opts := md.Options{
+		Cutoff:      *cutoff,
+		UpdateEvery: *update,
+		Strategy:    strat,
+		Accounting:  *accounting,
+		Minimize:    !*dynamics,
+	}
+
+	var sys *molecule.System
+	switch {
+	case *resumeFile != "":
+		f, err := os.Open(*resumeFile)
+		if err != nil {
+			fatal(err)
+		}
+		cp, err := md.ReadCheckpoint(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sys = cp.Sys
+		opts = cp.Resume(opts)
+		fmt.Printf("resuming from %s at step %d\n", *resumeFile, cp.Step)
+	case *molFile != "":
+		f, err := os.Open(*molFile)
+		if err != nil {
+			fatal(err)
+		}
+		sys, err = molecule.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		sys = harness.Sizes(*scale)[*size]
+		if sys == nil {
+			fatal(fmt.Errorf("unknown size %q (want small, medium or large)", *size))
+		}
+	}
+
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sys.Write(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("saved complex to %s\n", *saveFile)
+	}
+	var xyzOut *os.File
+	if *xyzFile != "" {
+		var err error
+		xyzOut, err = os.Create(*xyzFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer xyzOut.Close()
+		opts.Trajectory = md.NewTrajectoryWriter(xyzOut, sys, 1)
+	}
+
+	spec := harness.RunSpec{
+		Platform: pl,
+		Sys:      sys,
+		Opts:     opts,
+		Servers:  *servers,
+		Steps:    *steps,
+	}
+	fmt.Printf("Opal on %s — %s (%d mass centers, gamma %.3f), %d servers, %d steps\n",
+		pl.Name, sys.Name, sys.N, sys.Gamma(), *servers, *steps)
+	fmt.Printf("cut-off %.0f A (%seffective), update every %d step(s), %s distribution\n\n",
+		*cutoff, effPrefix(sys, *cutoff), *update, strat)
+
+	out, err := harness.Run(spec)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *verbose {
+		st := &report.Table{
+			Title:   "simulation steps",
+			Headers: []string{"step", "E_total", "E_vdw", "E_coul", "E_bonded", "T[K]", "pairs"},
+		}
+		for i, s := range out.Result.Steps {
+			st.AddRowf(2, i, s.ETotal, s.EVdw, s.ECoul, s.EBonded, s.Temperature, s.ActivePairs)
+		}
+		fmt.Println(st)
+	}
+
+	last := out.Result.Steps[len(out.Result.Steps)-1]
+	fmt.Printf("final energy %.2f kcal/mol (vdw %.2f, coul %.2f, bonded %.2f)\n",
+		last.ETotal, last.EVdw, last.ECoul, last.EBonded)
+	fmt.Printf("active pairs %d, volume %.0f A^3\n\n", last.ActivePairs, last.Volume)
+
+	b := out.Breakdown
+	fmt.Printf("virtual execution time on %s: %.3f s for %d steps\n", pl.Name, out.Wall, *steps)
+	fmt.Printf("  parallel computation  %8.3f s  (busiest server %.3f, imbalance %.1f%%)\n",
+		b.ParComp, b.MaxParComp, 100*b.Imbalance())
+	fmt.Printf("  sequential computation%8.3f s\n", b.SeqComp)
+	fmt.Printf("  communication         %8.3f s\n", b.Comm)
+	fmt.Printf("  synchronization       %8.3f s\n", b.Sync)
+	fmt.Printf("  idle (load imbalance) %8.3f s\n", b.Idle)
+
+	if *metrics && *servers > 0 {
+		fmt.Println()
+		fmt.Print(sciddle.MetricsOf(out.Recorder, 0, out.Result.ServerTIDs,
+			out.Result.StartSeconds, out.Result.EndSeconds))
+	}
+	if *timeline {
+		names := map[int]string{0: "client"}
+		for i, tid := range out.Result.ServerTIDs {
+			names[tid] = fmt.Sprintf("server %d", i)
+		}
+		fmt.Println()
+		fmt.Print(trace.RenderTimeline(out.Recorder, names,
+			out.Result.StartSeconds, out.Result.EndSeconds, 100))
+	}
+
+	if *ckptFile != "" {
+		cp := md.CheckpointOf(sys, out.Result)
+		f, err := os.Create(*ckptFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := cp.Write(f); err != nil {
+			fatal(err)
+		}
+		f.Close()
+		fmt.Printf("checkpoint written to %s\n", *ckptFile)
+	}
+	if xyzOut != nil {
+		fmt.Printf("trajectory: %d frames in %s\n", opts.Trajectory.Frames(), *xyzFile)
+	}
+}
+
+func effPrefix(sys *molecule.System, cutoff float64) string {
+	if sys.CutoffEffective(cutoff) {
+		return ""
+	}
+	return "in"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "opal:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,52 @@
+// Command sciddlegen is the Sciddle stub compiler: it reads a remote
+// interface specification (.idl) and generates the Go client and server
+// communication stubs that translate RPCs into PVM message passing —
+// the role the original Sciddle compiler played for Fortran (Section 3
+// of the paper).
+//
+// Usage:
+//
+//	sciddlegen -pkg opalrpc -o opalrpc.go opal.idl
+//	sciddlegen -pkg opalrpc opal.idl        # writes to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"opalperf/internal/sciddle/idl"
+)
+
+func main() {
+	pkg := flag.String("pkg", "stubs", "package name for the generated code")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: sciddlegen [-pkg name] [-o file] interface.idl")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sciddlegen:", err)
+		os.Exit(1)
+	}
+	f, err := idl.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sciddlegen:", err)
+		os.Exit(1)
+	}
+	code, err := idl.Generate(f, *pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sciddlegen:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(code)
+		return
+	}
+	if err := os.WriteFile(*out, code, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "sciddlegen:", err)
+		os.Exit(1)
+	}
+}

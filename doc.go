@@ -1,0 +1,16 @@
+// Package opalperf reproduces "Accurate Performance Evaluation, Modelling
+// and Prediction of a Message Passing Simulation Code based on Middleware"
+// (Taufer & Stricker, ETH Zuerich, 1998): the Opal molecular-dynamics code
+// in its serial and client-server parallel forms, the Sciddle RPC
+// middleware over a PVM-style message-passing library, the instrumentation
+// the authors built into that middleware, the analytic performance model
+// with its least-squares calibration, and deterministic virtual-platform
+// simulations of the Cray J90, the Cray T3E-900 and three Cluster-of-PCs
+// flavours that stand in for the vanished 1998 hardware.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-versus-measured record of every table and
+// figure.  The benchmarks in bench_test.go regenerate each of them:
+//
+//	go test -bench=. -benchmem
+package opalperf

@@ -1,0 +1,76 @@
+// Tcpcluster: parallel Opal over the network-PVM fabric — a daemon routes
+// messages between two sessions, the client in one and the computation
+// servers hosted in the other, the way PVM spanned the paper's machines.
+// Everything runs in this one process over TCP loopback, but the sessions
+// share no memory: coordinates, energies and gradients really cross the
+// wire in the PVM buffer format.
+//
+//	go run ./examples/tcpcluster
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"opalperf/internal/md"
+	"opalperf/internal/molecule"
+	"opalperf/internal/pvm"
+)
+
+func main() {
+	const nservers = 3
+	sys := molecule.Generate(molecule.Config{
+		Name: "tcp cluster complex", SoluteAtoms: 150, Waters: 250, Seed: 5, Interleave: true,
+	})
+
+	daemon, err := pvm.NewDaemon("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer daemon.Close()
+	fmt.Printf("pvm daemon on %s\n", daemon.Addr())
+
+	// The "compute host" session registers the Opal server by name, like
+	// registering an executable with pvm_spawn.
+	host, err := pvm.ConnectTCP(daemon.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer host.Close()
+	host.RegisterSpawn("opal-server", func(t pvm.Task) {
+		md.ServeOpal(t, false, nservers+1)
+	})
+	fmt.Println("compute host session registered 'opal-server'")
+
+	// The client session runs the unmodified parallel Opal; its Spawn
+	// lands on the compute host through the daemon.
+	client, err := pvm.ConnectTCP(daemon.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	done := make(chan *md.Result, 1)
+	client.SpawnRoot("opal-client", func(t pvm.Task) {
+		res, err := md.RunParallel(t, sys, md.Options{
+			Cutoff:      8,
+			UpdateEvery: 2,
+			Minimize:    true,
+		}, nservers, 6)
+		if err != nil {
+			log.Fatal(err)
+		}
+		done <- res
+	})
+
+	res := <-done
+	fmt.Printf("\nran %d steps on %d remote servers (TIDs %v — note the foreign session range)\n",
+		len(res.Steps), nservers, res.ServerTIDs)
+	for i, st := range res.Steps {
+		fmt.Printf("step %d: E = %.2f kcal/mol, %d active pairs\n", i, st.ETotal, st.ActivePairs)
+	}
+	fmt.Printf("\nwall time over TCP loopback: %.3f s (real, not virtual — this fabric\n", res.StepSeconds)
+	fmt.Println("measures the host; the simulated fabrics measure the 1998 machines)")
+	client.Wait()
+	host.Wait()
+}

@@ -1,0 +1,3 @@
+module opalperf
+
+go 1.22

@@ -1,0 +1,52 @@
+package core
+
+import "math"
+
+// What-if analysis: the paper suspects that "with the right configuration
+// of PVM flags or at least with a rewrite of the middleware to use MPI in
+// true zero copy mode, we could significantly improve the performance of
+// Opal on the J90" (Section 4.1).  Because the model's communication term
+// is affine in 1/a1, the question inverts in closed form.
+
+// WithCommRate returns a copy of the machine with the communication rate
+// replaced (bytes/second).
+func (m Machine) WithCommRate(a1 float64) Machine {
+	m.A1 = a1
+	return m
+}
+
+// WithOverhead returns a copy with the per-message overhead replaced.
+func (m Machine) WithOverhead(b1 float64) Machine {
+	m.B1 = b1
+	return m
+}
+
+// RequiredCommRate returns the communication rate a1 (bytes/second) the
+// machine would need — all other parameters unchanged — so that the
+// application's total time at its server count drops to target seconds.
+// It returns +Inf when even free bandwidth cannot reach the target (the
+// per-message overheads and computation already exceed it) and 0 when the
+// target is already met.
+func (m Machine) RequiredCommRate(app App, target float64) float64 {
+	// T = fixed + volume/a1 with
+	//   fixed  = par + seq + sync + overhead part of comm
+	//   volume = s * p * (u+2) * alpha * n
+	s, p, u := float64(app.S), float64(app.P), app.U
+	volume := s * p * (u + 2) * app.Alpha * float64(app.N)
+	fixed := m.ParCompTime(app) + m.SeqCompTime(app) + m.SyncTime(app) +
+		s*2*p*m.B1*(u+1)
+	if m.Total(app) <= target {
+		return 0
+	}
+	room := target - fixed
+	if room <= 0 {
+		return math.Inf(1)
+	}
+	return volume / room
+}
+
+// SpeedupWithComm recomputes the speed-up curve under different
+// communication parameters — the "MPI rewrite" scenario of Section 4.1.
+func (m Machine) SpeedupWithComm(app App, a1, b1 float64, maxP int) []float64 {
+	return m.WithCommRate(a1).WithOverhead(b1).Speedup(app, maxP)
+}

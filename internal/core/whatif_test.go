@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"opalperf/internal/molecule"
+	"opalperf/internal/platform"
+)
+
+func TestRequiredCommRateInverts(t *testing.T) {
+	m := MachineFor(platform.J90(), 0.633)
+	app := mediumApp(7, true, true)
+	base := m.Total(app)
+	target := base * 0.7
+	a1 := m.RequiredCommRate(app, target)
+	if math.IsInf(a1, 1) || a1 <= m.A1 {
+		t.Fatalf("required a1 = %v (base %v)", a1, m.A1)
+	}
+	// Plugging the solved rate back hits the target exactly.
+	got := m.WithCommRate(a1).Total(app)
+	if math.Abs(got-target) > 1e-9*target {
+		t.Errorf("total with solved rate = %v, want %v", got, target)
+	}
+}
+
+func TestRequiredCommRateBounds(t *testing.T) {
+	m := MachineFor(platform.J90(), 0.633)
+	app := mediumApp(7, true, true)
+	// Already satisfied target.
+	if got := m.RequiredCommRate(app, m.Total(app)*2); got != 0 {
+		t.Errorf("satisfied target should need 0, got %v", got)
+	}
+	// Impossible target (below the compute floor).
+	floor := m.ParCompTime(app)
+	if got := m.RequiredCommRate(app, floor/2); !math.IsInf(got, 1) {
+		t.Errorf("impossible target should need +Inf, got %v", got)
+	}
+}
+
+// TestMPIRewriteScenario quantifies the paper's Section 4.1 speculation:
+// give the J90 the T3E's MPI communication figures and the cut-off run
+// scales again instead of slowing down.
+func TestMPIRewriteScenario(t *testing.T) {
+	sys := molecule.Antennapedia()
+	j90 := MachineFor(platform.J90(), sys.Gamma())
+	app := AppFor(sys, 10, 1, 1, 10)
+
+	pvmSpeedup := j90.Speedup(app, 7)
+	mpiSpeedup := j90.SpeedupWithComm(app, 100e6, 12e-6, 7) // T3E-class MPI
+
+	if pvmSpeedup[6] >= 2 {
+		t.Fatalf("PVM speedup(7) = %v, expected the break-down", pvmSpeedup[6])
+	}
+	if mpiSpeedup[6] < 5 {
+		t.Errorf("MPI-rewrite speedup(7) = %v, want >= 5", mpiSpeedup[6])
+	}
+	// Monotone improvement at every p.
+	for i := range pvmSpeedup {
+		if mpiSpeedup[i] < pvmSpeedup[i]-1e-12 {
+			t.Errorf("p=%d: MPI %v below PVM %v", i+1, mpiSpeedup[i], pvmSpeedup[i])
+		}
+	}
+}

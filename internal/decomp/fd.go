@@ -1,0 +1,217 @@
+package decomp
+
+import (
+	"opalperf/internal/forcefield"
+	"opalperf/internal/molecule"
+	"opalperf/internal/pvm"
+)
+
+// RunFD executes Plimpton's force-decomposition method: the n x n force
+// matrix is tiled by a pr x pc processor grid; server (r, c) receives the
+// coordinates of its row block and its column block — about 2n/sqrt(p)
+// mass centers instead of all n, the FD communication saving — and
+// evaluates its tile's pairs under a checkerboard orientation rule that
+// covers every unordered pair exactly once while balancing the tiles.
+func RunFD(t pvm.Task, sys *molecule.System, opts Options, p, steps int) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := validate(sys, p, steps); err != nil {
+		return nil, err
+	}
+	pr, pc := gridShape(p)
+	tids := t.Spawn("fd-server", p, fdServer)
+	// extra: pr, pc (each server derives its block from its instance).
+	t.Mcast(tids, tagInit, packInit(sys, opts, pr, pc))
+
+	res := &Result{Method: "FD", ServerTIDs: tids}
+	pos := append([]float64(nil), sys.Pos...)
+	grad := make([]float64, 3*sys.N)
+
+	// Precompute each server's row/column block bounds.
+	rowLo := make([]int, p)
+	rowHi := make([]int, p)
+	colLo := make([]int, p)
+	colHi := make([]int, p)
+	for s := 0; s < p; s++ {
+		r, c := s/pc, s%pc
+		rowLo[s], rowHi[s] = blockBounds(sys.N, pr, r)
+		colLo[s], colHi[s] = blockBounds(sys.N, pc, c)
+	}
+
+	t0 := t.Now()
+	res.StartSeconds = t0
+	for step := 0; step < steps; step++ {
+		se := StepEnergy{}
+		update := step%opts.UpdateEvery == 0
+		if update {
+			se.Updated = true
+		}
+		// Ship each server its row-block and column-block coordinates.
+		for s := 0; s < p; s++ {
+			rb := pos[3*rowLo[s] : 3*rowHi[s]]
+			cb := pos[3*colLo[s] : 3*colHi[s]]
+			b := pvm.NewBuffer().PackInt(boolToInt(update)).
+				PackFloat64s(rb).PackFloat64s(cb)
+			res.CoordBytesOut += b.Bytes()
+			t.Send(tids[s], tagCoords, b)
+		}
+		for i := range grad {
+			grad[i] = 0
+		}
+		for range tids {
+			b, src, _ := t.Recv(pvm.AnySrc, tagResult)
+			res.CoordBytesIn += b.Bytes()
+			se.EVdw += b.MustFloat64()
+			se.ECoul += b.MustFloat64()
+			se.PairChecks += b.MustInt()
+			se.ActivePairs += b.MustInt()
+			rg := b.MustFloat64s()
+			cg := b.MustFloat64s()
+			s := serverIndex(tids, src)
+			for k := range rg {
+				grad[3*rowLo[s]+k] += rg[k]
+			}
+			for k := range cg {
+				grad[3*colLo[s]+k] += cg[k]
+			}
+			t.Charge("reduce", forcefield.ReduceOps.Times(float64(len(rg)+len(cg))))
+		}
+		res.Steps = append(res.Steps, se)
+	}
+	res.EndSeconds = t.Now()
+	t.Mcast(tids, tagStop, pvm.NewBuffer())
+	return res, nil
+}
+
+// fdServer evaluates its (row block x column block) tile of the upper
+// triangle.
+func fdServer(t pvm.Task) {
+	b, coord, _ := t.Recv(pvm.AnySrc, tagInit)
+	d := unpackInit(b, 2)
+	pr, pc := d.extra[0], d.extra[1]
+	r, c := t.Instance()/pc, t.Instance()%pc
+	rowLo, rowHi := blockBounds(d.n, pr, r)
+	colLo, colHi := blockBounds(d.n, pc, c)
+	nr, nc := rowHi-rowLo, colHi-colLo
+
+	rpos := make([]float64, 3*nr)
+	cpos := make([]float64, 3*nc)
+	rgrad := make([]float64, 3*nr)
+	cgrad := make([]float64, 3*nc)
+	// Local active list: per row atom, the in-cut-off column partners.
+	pairs := make([][]int32, nr)
+	// A combined coordinate buffer: rows then columns, so PairEnergy can
+	// index one slice.
+	combined := make([]float64, 3*(nr+nc))
+	cgradOff := 3 * nr
+
+	c2 := d.cutoff * d.cutoff
+	useCut := d.cutoff > 0
+	for {
+		msg, _, tag := t.Recv(coord, pvm.AnyTag)
+		if tag == tagStop {
+			return
+		}
+		update := msg.MustInt() != 0
+		if err := msg.UnpackFloat64sInto(rpos); err != nil {
+			panic(err)
+		}
+		if err := msg.UnpackFloat64sInto(cpos); err != nil {
+			panic(err)
+		}
+		copy(combined[:3*nr], rpos)
+		copy(combined[3*nr:], cpos)
+		checks, excls := 0, 0
+		if update {
+			for a := 0; a < nr; a++ {
+				ps := pairs[a][:0]
+				gi := rowLo + a
+				for bi := 0; bi < nc; bi++ {
+					gj := colLo + bi
+					if gj == gi {
+						continue
+					}
+					// Checkerboard orientation: of the two orientations
+					// of each unordered pair, exactly one survives —
+					// (i<j) on even index sums, (i>j) on odd — so every
+					// pair lands on exactly one tile AND the work
+					// spreads evenly over the whole grid (a plain upper
+					// triangle would leave below-diagonal tiles empty).
+					if (gi < gj) != ((gi+gj)%2 == 0) {
+						continue
+					}
+					checks++
+					if useCut && forcefield.Dist2(combined, a, nr+bi) > c2 {
+						continue
+					}
+					if d.tb.excl.Excluded(gi, gj) {
+						excls++
+						continue
+					}
+					ps = append(ps, int32(bi))
+				}
+				pairs[a] = ps
+			}
+			chargeChecks(t, checks, excls)
+		}
+		var evdw, ecoul float64
+		nq, nu, active := 0, 0, 0
+		for k := range rgrad {
+			rgrad[k] = 0
+		}
+		for k := range cgrad {
+			cgrad[k] = 0
+		}
+		// Evaluate into a combined gradient, then split.
+		cg := make([]float64, 3*(nr+nc))
+		for a := 0; a < nr; a++ {
+			gi := rowLo + a
+			for _, bi := range pairs[a] {
+				gj := colLo + int(bi)
+				ev, ec, charged := evalRegionPair(d.tb, combined, a, nr+int(bi), gi, gj, cg)
+				evdw += ev
+				ecoul += ec
+				active++
+				if charged {
+					nq++
+				} else {
+					nu++
+				}
+			}
+		}
+		copy(rgrad, cg[:cgradOff])
+		copy(cgrad, cg[cgradOff:])
+		chargeEval(t, nq, nu)
+		rep := pvm.NewBuffer().
+			PackFloat64(evdw).PackFloat64(ecoul).
+			PackInt(checks).PackInt(active).
+			PackFloat64s(rgrad).PackFloat64s(cgrad)
+		t.Send(coord, tagResult, rep)
+	}
+}
+
+// CommVolumePerStep returns the analytic coordinator-to-server coordinate
+// volume per step for the three decompositions, for the comparison bench:
+// RD ships p*n, FD ships sum of row+column blocks, SD ships n plus the
+// ghost margins.
+func CommVolumePerStep(sys *molecule.System, cutoff float64, p int) (rd, fd, sd int) {
+	const bpa = 24 // bytes per atom coordinates
+	rd = p * sys.N * bpa
+	pr, pc := gridShape(p)
+	for s := 0; s < p; s++ {
+		r, c := s/pc, s%pc
+		rlo, rhi := blockBounds(sys.N, pr, r)
+		clo, chi := blockBounds(sys.N, pc, c)
+		fd += (rhi - rlo + chi - clo) * bpa
+	}
+	// SD ships every atom once (to its owner) plus the ghost margins: at
+	// uniform density each server's ghost region holds ~n*c/box atoms.
+	gfrac := cutoff / sys.Box
+	if cutoff <= 0 || gfrac > 1 {
+		gfrac = 1
+	}
+	sd = int(float64(sys.N) * bpa * (1 + float64(p)*gfrac))
+	if sd > rd {
+		sd = rd // ghosts never exceed full replication
+	}
+	return rd, fd, sd
+}

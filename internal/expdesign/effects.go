@@ -1,0 +1,179 @@
+package expdesign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Effect analysis for 2^k designs after Jain ch. 17-18: with every factor
+// at two levels, the sign-table method decomposes a response into a mean,
+// k main effects and their interactions, and allocates the variation
+// among them.  The paper uses exactly this machinery to isolate which of
+// its four factors (servers, size, cut-off, update) drives each time
+// component — e.g. that the cut-off flips Opal from compute bound to
+// communication bound.
+
+// Effect is one estimated effect of a 2^k analysis.
+type Effect struct {
+	// Factors lists the factor names involved: one for a main effect,
+	// two or more for an interaction.
+	Factors []string
+	// Value is the effect estimate (half the average response change
+	// when the combination flips from low to high).
+	Value float64
+	// VariationShare is the fraction of the total response variation
+	// explained by this effect (0..1).
+	VariationShare float64
+}
+
+// Name renders the effect label, e.g. "cutoff" or "cutoff×update".
+func (e Effect) Name() string { return strings.Join(e.Factors, "×") }
+
+// Analysis is the full decomposition of one response variable.
+type Analysis struct {
+	Response string
+	Mean     float64
+	Effects  []Effect // sorted by |VariationShare| descending
+}
+
+// Analyze2k performs the sign-table analysis of a full 2^k design.  All
+// factors must have exactly two levels, and recs must contain every one
+// of the 2^k cases exactly once (extra replications of the same case are
+// averaged).  response names the response variable.
+func Analyze2k(factors []Factor, recs []Record, response string) (*Analysis, error) {
+	k := len(factors)
+	if k == 0 {
+		return nil, fmt.Errorf("expdesign: no factors")
+	}
+	for _, f := range factors {
+		if len(f.Levels) != 2 {
+			return nil, fmt.Errorf("expdesign: factor %q has %d levels, need 2", f.Name, len(f.Levels))
+		}
+	}
+	size := 1 << k
+	sums := make([]float64, size)
+	counts := make([]int, size)
+	for _, r := range recs {
+		idx := 0
+		for i, f := range factors {
+			switch r.Case[f.Name] {
+			case f.Levels[0]:
+				// low: bit stays 0
+			case f.Levels[1]:
+				idx |= 1 << i
+			default:
+				return nil, fmt.Errorf("expdesign: case has unknown level %q for %q",
+					r.Case[f.Name], f.Name)
+			}
+		}
+		v, ok := r.Responses[response]
+		if !ok {
+			return nil, fmt.Errorf("expdesign: record missing response %q", response)
+		}
+		sums[idx] += v
+		counts[idx]++
+	}
+	y := make([]float64, size)
+	for i := range y {
+		if counts[i] == 0 {
+			return nil, fmt.Errorf("expdesign: design cell %d unobserved", i)
+		}
+		y[i] = sums[i] / float64(counts[i])
+	}
+
+	// Sign-table contrasts: effect for mask m is sum over cells of
+	// y[cell] * prod(sign of each factor in m), divided by 2^k... with
+	// the convention that the estimate is contrast / 2^(k) for the mean
+	// and contrast / 2^(k-1)... we use Jain's q_i = contrast / 2^k.
+	a := &Analysis{Response: response}
+	var ssTotal float64
+	qs := make([]float64, size)
+	for m := 1; m < size; m++ {
+		var contrast float64
+		for cell := 0; cell < size; cell++ {
+			sign := 1.0
+			if popcount(uint(cell&m))%2 == 1 {
+				sign = -1
+			}
+			// Level high = +1: flip so that bit set means +1.
+			contrast += sign * y[cell]
+		}
+		// With the convention above, a set bit contributed -1; invert
+		// for odd-sized masks so "high" means positive.
+		if popcount(uint(m))%2 == 1 {
+			contrast = -contrast
+		}
+		qs[m] = contrast / float64(size)
+		ssTotal += float64(size) * qs[m] * qs[m]
+	}
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	a.Mean = mean / float64(size)
+
+	for m := 1; m < size; m++ {
+		var names []string
+		for i := 0; i < k; i++ {
+			if m&(1<<i) != 0 {
+				names = append(names, factors[i].Name)
+			}
+		}
+		share := 0.0
+		if ssTotal > 0 {
+			share = float64(size) * qs[m] * qs[m] / ssTotal
+		}
+		a.Effects = append(a.Effects, Effect{Factors: names, Value: qs[m], VariationShare: share})
+	}
+	sort.Slice(a.Effects, func(i, j int) bool {
+		return a.Effects[i].VariationShare > a.Effects[j].VariationShare
+	})
+	return a, nil
+}
+
+func popcount(x uint) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// EffectByName returns the effect for the given factor combination.
+func (a *Analysis) EffectByName(names ...string) (Effect, bool) {
+	want := append([]string(nil), names...)
+	sort.Strings(want)
+	for _, e := range a.Effects {
+		have := append([]string(nil), e.Factors...)
+		sort.Strings(have)
+		if len(have) != len(want) {
+			continue
+		}
+		same := true
+		for i := range have {
+			if have[i] != want[i] {
+				same = false
+			}
+		}
+		if same {
+			return e, true
+		}
+	}
+	return Effect{}, false
+}
+
+// String renders the analysis as a small report.
+func (a *Analysis) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "effects on %s (mean %.4g):\n", a.Response, a.Mean)
+	for _, e := range a.Effects {
+		if e.VariationShare < 0.005 {
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-24s %+.4g  (%.1f%% of variation)\n",
+			e.Name(), e.Value, 100*e.VariationShare)
+	}
+	return sb.String()
+}

@@ -1,0 +1,165 @@
+package expdesign
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// synth22 builds a full 2^2 design with response y = base + a*A + b*B +
+// ab*A*B where A, B are -1/+1 coded.
+func synth22(base, a, b, ab float64) ([]Factor, []Record) {
+	factors := []Factor{
+		{Name: "A", Levels: []string{"lo", "hi"}},
+		{Name: "B", Levels: []string{"lo", "hi"}},
+	}
+	var recs []Record
+	for _, ca := range []float64{-1, 1} {
+		for _, cb := range []float64{-1, 1} {
+			c := Case{}
+			if ca > 0 {
+				c["A"] = "hi"
+			} else {
+				c["A"] = "lo"
+			}
+			if cb > 0 {
+				c["B"] = "hi"
+			} else {
+				c["B"] = "lo"
+			}
+			recs = append(recs, Record{Case: c, Responses: map[string]float64{
+				"y": base + a*ca + b*cb + ab*ca*cb,
+			}})
+		}
+	}
+	return factors, recs
+}
+
+func TestAnalyze2kRecoversEffects(t *testing.T) {
+	factors, recs := synth22(10, 3, -2, 0.5)
+	an, err := Analyze2k(factors, recs, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an.Mean-10) > 1e-12 {
+		t.Errorf("mean = %v", an.Mean)
+	}
+	cases := []struct {
+		names []string
+		want  float64
+	}{
+		{[]string{"A"}, 3},
+		{[]string{"B"}, -2},
+		{[]string{"A", "B"}, 0.5},
+	}
+	for _, c := range cases {
+		e, ok := an.EffectByName(c.names...)
+		if !ok {
+			t.Fatalf("effect %v missing", c.names)
+		}
+		if math.Abs(e.Value-c.want) > 1e-12 {
+			t.Errorf("effect %v = %v, want %v", c.names, e.Value, c.want)
+		}
+	}
+	// Variation shares sum to 1 and rank A > B > AB.
+	var sum float64
+	for _, e := range an.Effects {
+		sum += e.VariationShare
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", sum)
+	}
+	if an.Effects[0].Name() != "A" || an.Effects[1].Name() != "B" {
+		t.Errorf("ranking wrong: %v, %v", an.Effects[0].Name(), an.Effects[1].Name())
+	}
+}
+
+func TestAnalyze2kThreeFactors(t *testing.T) {
+	factors := []Factor{
+		{Name: "A", Levels: []string{"0", "1"}},
+		{Name: "B", Levels: []string{"0", "1"}},
+		{Name: "C", Levels: []string{"0", "1"}},
+	}
+	// y depends only on C: effect(C) = 4, everything else 0.
+	var recs []Record
+	for _, c := range FullFactorial(factors) {
+		y := 1.0
+		if c["C"] == "1" {
+			y = 9.0
+		}
+		recs = append(recs, Record{Case: c, Responses: map[string]float64{"y": y}})
+	}
+	an, err := Analyze2k(factors, recs, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eC, _ := an.EffectByName("C")
+	if math.Abs(eC.Value-4) > 1e-12 || math.Abs(eC.VariationShare-1) > 1e-12 {
+		t.Errorf("C effect = %+v", eC)
+	}
+	eA, _ := an.EffectByName("A")
+	if eA.Value != 0 {
+		t.Errorf("A effect = %v, want 0", eA.Value)
+	}
+	if an.Mean != 5 {
+		t.Errorf("mean = %v", an.Mean)
+	}
+}
+
+func TestAnalyze2kReplicationsAveraged(t *testing.T) {
+	factors, recs := synth22(0, 1, 0, 0)
+	// Duplicate every record with a constant offset pattern that averages
+	// back to the original.
+	extra := make([]Record, 0, 2*len(recs))
+	for _, r := range recs {
+		up := Record{Case: r.Case, Responses: map[string]float64{"y": r.Responses["y"] + 1}}
+		down := Record{Case: r.Case, Responses: map[string]float64{"y": r.Responses["y"] - 1}}
+		extra = append(extra, up, down)
+	}
+	an, err := Analyze2k(factors, append(recs, extra...), "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eA, _ := an.EffectByName("A")
+	if math.Abs(eA.Value-1) > 1e-12 {
+		t.Errorf("A effect = %v", eA.Value)
+	}
+}
+
+func TestAnalyze2kErrors(t *testing.T) {
+	factors, recs := synth22(0, 1, 1, 0)
+	if _, err := Analyze2k(nil, recs, "y"); err == nil {
+		t.Error("no factors accepted")
+	}
+	bad := []Factor{{Name: "A", Levels: []string{"1", "2", "3"}}}
+	if _, err := Analyze2k(bad, recs, "y"); err == nil {
+		t.Error("3-level factor accepted")
+	}
+	if _, err := Analyze2k(factors, recs[:3], "y"); err == nil {
+		t.Error("incomplete design accepted")
+	}
+	if _, err := Analyze2k(factors, recs, "nope"); err == nil {
+		t.Error("missing response accepted")
+	}
+	mut := Record{Case: Case{"A": "weird", "B": "lo"}, Responses: map[string]float64{"y": 0}}
+	if _, err := Analyze2k(factors, append(recs, mut), "y"); err == nil {
+		t.Error("unknown level accepted")
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	factors, recs := synth22(10, 3, -2, 0.5)
+	an, _ := Analyze2k(factors, recs, "y")
+	s := an.String()
+	if !strings.Contains(s, "A") || !strings.Contains(s, "% of variation") {
+		t.Errorf("report = %q", s)
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	for x, want := range map[uint]int{0: 0, 1: 1, 3: 2, 7: 3, 8: 1, 255: 8} {
+		if got := popcount(x); got != want {
+			t.Errorf("popcount(%d) = %d, want %d", x, got, want)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeasureEffects(t *testing.T) {
+	s := testSuite()
+	s.Steps = 3
+	analyses, err := s.MeasureEffects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := analyses["wall"]
+	if wall == nil {
+		t.Fatal("no wall analysis")
+	}
+	// The cut-off is the dominant single influence on the parallel
+	// computation time (it flips the complexity class), and its effect
+	// is negative (10A level shrinks the time).
+	par := analyses["par"]
+	e, ok := par.EffectByName(FactorCutoff)
+	if !ok {
+		t.Fatal("cutoff effect missing")
+	}
+	if e.Value >= 0 {
+		t.Errorf("cutoff effect on par = %v, want negative", e.Value)
+	}
+	top := par.Effects[0]
+	names := top.Name()
+	if !strings.Contains(names, FactorCutoff) && !strings.Contains(names, FactorServers) {
+		t.Errorf("top par effect = %q, want cutoff or servers involved", names)
+	}
+	// Communication grows with servers: positive main effect.
+	comm := analyses["comm"]
+	es, ok := comm.EffectByName(FactorServers)
+	if !ok || es.Value <= 0 {
+		t.Errorf("servers effect on comm = %+v", es)
+	}
+	// And servers dominate comm variation.
+	if comm.Effects[0].Name() != FactorServers {
+		t.Errorf("top comm effect = %q", comm.Effects[0].Name())
+	}
+	// Sync depends on the update frequency only: partial updates lower it.
+	sync := analyses["sync"]
+	eu, ok := sync.EffectByName(FactorUpdate)
+	if !ok || eu.Value >= 0 {
+		t.Errorf("update effect on sync = %+v", eu)
+	}
+	// Report renders.
+	rep := EffectsReport(analyses)
+	if !strings.Contains(rep, "effects on wall") || !strings.Contains(rep, "cutoff") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+func TestEffectsDesignShape(t *testing.T) {
+	s := testSuite()
+	factors, cases := s.EffectsDesign()
+	if len(factors) != 4 || len(cases) != 16 {
+		t.Fatalf("design = %d factors, %d cases", len(factors), len(cases))
+	}
+	for _, f := range factors {
+		if len(f.Levels) != 2 {
+			t.Errorf("factor %s has %d levels", f.Name, len(f.Levels))
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package harness_test
+
+import (
+	"fmt"
+
+	"opalperf/internal/harness"
+	"opalperf/internal/md"
+	"opalperf/internal/molecule"
+	"opalperf/internal/platform"
+)
+
+// Run one instrumented Opal simulation on the virtual Cray J90 and read
+// its execution-time breakdown — the paper's basic measurement.
+func ExampleRun() {
+	sys := molecule.Generate(molecule.Config{
+		Name: "example", SoluteAtoms: 80, Waters: 150, Seed: 1, Interleave: true,
+	})
+	out, err := harness.Run(harness.RunSpec{
+		Platform: platform.J90(),
+		Sys:      sys,
+		Opts:     md.Options{Cutoff: 10, Accounting: true, Minimize: true},
+		Servers:  3,
+		Steps:    5,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	b := out.Breakdown
+	fmt.Println("components sum to wall:", roughly(b.Sum(), out.Wall))
+	fmt.Println("compute dominated:", b.ParComp > b.SeqComp)
+	fmt.Println("communication present:", b.Comm > 0)
+	fmt.Println("energies finite:", out.Result.FinalEnergy() < 1e12)
+	// Output:
+	// components sum to wall: true
+	// compute dominated: true
+	// communication present: true
+	// energies finite: true
+}
+
+func roughly(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= 1e-9*(1+b)
+}

@@ -1,0 +1,90 @@
+package md
+
+import (
+	"testing"
+
+	"opalperf/internal/molecule"
+	"opalperf/internal/platform"
+)
+
+func TestCellListIdenticalPhysics(t *testing.T) {
+	sys := molecule.TestComplex(300, 700, 41) // box ~4.6 cut-offs wide
+	base := Options{Minimize: true, Cutoff: 6, UpdateEvery: 2}
+	withCells := base
+	withCells.CellList = true
+
+	plain, plainWall := runSerialSim(t, sys, base, 4)
+	cells, cellWall := runSerialSim(t, sys, withCells, 4)
+	for i := range plain.Steps {
+		if plain.Steps[i].ETotal != cells.Steps[i].ETotal {
+			t.Fatalf("step %d: %v vs %v (must be bit identical)",
+				i, plain.Steps[i].ETotal, cells.Steps[i].ETotal)
+		}
+		if plain.Steps[i].ActivePairs != cells.Steps[i].ActivePairs {
+			t.Fatalf("step %d: pair counts differ", i)
+		}
+	}
+	if cellWall >= plainWall {
+		t.Errorf("cell-list wall %v not below brute force %v", cellWall, plainWall)
+	}
+	var plainChecks, cellChecks int
+	for i := range plain.Steps {
+		plainChecks += plain.Steps[i].PairChecks
+		cellChecks += cells.Steps[i].PairChecks
+	}
+	if cellChecks*2 >= plainChecks {
+		t.Errorf("cell checks %d not well below brute force %d", cellChecks, plainChecks)
+	}
+
+	// Parallel engine ships the option to the servers.
+	par, _, _ := runParallelSim(t, platform.J90(), sys, withCells, 3, 4)
+	for i := range plain.Steps {
+		if d := relDiff(plain.Steps[i].ETotal, par.Steps[i].ETotal); d > 1e-9 {
+			t.Fatalf("parallel cell-list step %d: %v vs %v",
+				i, plain.Steps[i].ETotal, par.Steps[i].ETotal)
+		}
+	}
+}
+
+func TestCellListIgnoredWithoutCutoff(t *testing.T) {
+	sys := molecule.TestComplex(30, 60, 42)
+	opts := Options{Minimize: true, CellList: true} // no cut-off
+	res, _ := runSerialSim(t, sys, opts, 2)
+	want := sys.N * (sys.N - 1) / 2
+	if res.Steps[0].PairChecks != want {
+		t.Errorf("checks = %d, want the full triangle %d", res.Steps[0].PairChecks, want)
+	}
+}
+
+func TestMinimizerConvergence(t *testing.T) {
+	sys := molecule.TestComplex(10, 15, 43)
+	// A loose tolerance is reached quickly; the run stops early and
+	// reports convergence.
+	opts := Options{Minimize: true, StepSize: 0.01, GradTol: 50}
+	res, _ := runSerialSim(t, sys, opts, 500)
+	if !res.Converged {
+		t.Fatalf("did not converge in 500 steps (last gradmax %v)",
+			res.Steps[len(res.Steps)-1].GradMax)
+	}
+	if len(res.Steps) >= 500 {
+		t.Errorf("convergence did not stop the run early (%d steps)", len(res.Steps))
+	}
+	last := res.Steps[len(res.Steps)-1]
+	if last.GradMax >= 50 {
+		t.Errorf("final gradmax = %v, want < tol", last.GradMax)
+	}
+	// Without a tolerance the run uses its full budget and does not
+	// claim convergence.
+	plain, _ := runSerialSim(t, sys, Options{Minimize: true, StepSize: 0.01}, 5)
+	if plain.Converged || len(plain.Steps) != 5 {
+		t.Errorf("plain run: converged=%v steps=%d", plain.Converged, len(plain.Steps))
+	}
+	// The parallel engine honors the tolerance too.
+	par, _, _ := runParallelSim(t, platform.J90(), sys, opts, 2, 500)
+	if !par.Converged {
+		t.Error("parallel run did not converge")
+	}
+	if len(par.Steps) != len(res.Steps) {
+		t.Errorf("parallel stopped at %d steps, serial at %d", len(par.Steps), len(res.Steps))
+	}
+}

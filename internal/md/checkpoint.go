@@ -1,0 +1,139 @@
+package md
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"opalperf/internal/molecule"
+)
+
+// Checkpointing: long refinement campaigns on shared machines (the
+// paper's J90s ran a batch service) need restartable state.  A checkpoint
+// is the molecular system with its current coordinates plus the
+// velocities and the step counter; resuming at a pair-list update
+// boundary reproduces the uninterrupted trajectory bit for bit.
+
+// Checkpoint is a restartable simulation state.
+type Checkpoint struct {
+	Sys  *molecule.System // with current positions
+	Vel  []float64
+	Step int
+}
+
+// CheckpointOf captures the state after a finished run.
+func CheckpointOf(sys *molecule.System, res *Result) *Checkpoint {
+	snap := sys.Clone()
+	copy(snap.Pos, res.FinalPos)
+	vel := append([]float64(nil), res.FinalVel...)
+	return &Checkpoint{Sys: snap, Vel: vel, Step: len(res.Steps)}
+}
+
+// Write serializes the checkpoint: the system in the molecule text
+// format followed by a velocities section.
+func (c *Checkpoint) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# opalperf checkpoint\nstep %d\n", c.Step)
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := c.Sys.Write(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(bw, "velocities %d\n", len(c.Vel))
+	for i := 0; i+2 < len(c.Vel); i += 3 {
+		fmt.Fprintf(bw, "%s %s %s\n",
+			strconv.FormatFloat(c.Vel[i], 'g', -1, 64),
+			strconv.FormatFloat(c.Vel[i+1], 'g', -1, 64),
+			strconv.FormatFloat(c.Vel[i+2], 'g', -1, 64))
+	}
+	return bw.Flush()
+}
+
+// ReadCheckpoint parses a checkpoint written by Write.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	raw, err := io.ReadAll(bufio.NewReader(r))
+	if err != nil {
+		return nil, fmt.Errorf("md: reading checkpoint: %w", err)
+	}
+	text := string(raw)
+
+	// Step header: the first non-comment line.
+	var step int
+	rest := text
+	for {
+		line, more, ok := nextLine(rest)
+		if !ok {
+			return nil, fmt.Errorf("md: checkpoint header missing")
+		}
+		rest = more
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "step %d", &step); err != nil {
+			return nil, fmt.Errorf("md: bad checkpoint header %q", line)
+		}
+		break
+	}
+
+	// Split off the velocities section (its marker line starts a suffix
+	// the molecule parser must not see).
+	idx := strings.LastIndex(rest, "\nvelocities ")
+	if idx < 0 {
+		return nil, fmt.Errorf("md: checkpoint has no velocities section")
+	}
+	sysText, velText := rest[:idx+1], rest[idx+1:]
+
+	sys, err := molecule.Read(strings.NewReader(sysText))
+	if err != nil {
+		return nil, err
+	}
+
+	var count int
+	header, velBody, ok := nextLine(velText)
+	if !ok {
+		return nil, fmt.Errorf("md: empty velocities section")
+	}
+	if _, err := fmt.Sscanf(header, "velocities %d", &count); err != nil {
+		return nil, fmt.Errorf("md: bad velocities header %q", header)
+	}
+	if count != 3*sys.N {
+		return nil, fmt.Errorf("md: checkpoint has %d velocity components for %d atoms", count, sys.N)
+	}
+	fields := strings.Fields(velBody)
+	if len(fields) != count {
+		return nil, fmt.Errorf("md: %d velocity components, want %d", len(fields), count)
+	}
+	vel := make([]float64, count)
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("md: bad velocity %q", f)
+		}
+		vel[i] = v
+	}
+	return &Checkpoint{Sys: sys, Vel: vel, Step: step}, nil
+}
+
+// nextLine splits the first line off text.
+func nextLine(text string) (line, rest string, ok bool) {
+	if text == "" {
+		return "", "", false
+	}
+	if i := strings.IndexByte(text, '\n'); i >= 0 {
+		return strings.TrimSpace(text[:i]), text[i+1:], true
+	}
+	return strings.TrimSpace(text), "", true
+}
+
+// Resume returns run options continuing from the checkpoint: the caller
+// runs the engine on c.Sys with these options.  Restarts are exact when
+// the checkpoint step is a pair-list update boundary (step %% UpdateEvery
+// == 0), since the resumed run rebuilds its lists immediately.
+func (c *Checkpoint) Resume(base Options) Options {
+	base.StartVelocities = c.Vel
+	base.InitTemperature = 0 // never re-draw velocities on a resume
+	return base
+}

@@ -1,0 +1,126 @@
+package md
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"opalperf/internal/molecule"
+	"opalperf/internal/platform"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	sys := molecule.TestComplex(10, 15, 21)
+	res, _ := runSerialSim(t, sys, Options{Dt: 1e-4, InitTemperature: 200, Seed: 3}, 4)
+	cp := CheckpointOf(sys, res)
+	if cp.Step != 4 {
+		t.Fatalf("step = %d", cp.Step)
+	}
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 4 || got.Sys.N != sys.N {
+		t.Fatalf("restored = step %d, n %d", got.Step, got.Sys.N)
+	}
+	for i := range cp.Vel {
+		if got.Vel[i] != cp.Vel[i] {
+			t.Fatalf("vel[%d] = %v, want %v (bit exact)", i, got.Vel[i], cp.Vel[i])
+		}
+	}
+	for i := range cp.Sys.Pos {
+		if got.Sys.Pos[i] != cp.Sys.Pos[i] {
+			t.Fatalf("pos[%d] mismatch", i)
+		}
+	}
+}
+
+// TestCheckpointResumeExact is the headline property: 8 continuous steps
+// equal 4 steps + checkpoint + 4 resumed steps, bit for bit.
+func TestCheckpointResumeExact(t *testing.T) {
+	sys := molecule.TestComplex(12, 20, 22)
+	opts := Options{Dt: 1e-4, InitTemperature: 250, Seed: 5, UpdateEvery: 2}
+
+	full, _ := runSerialSim(t, sys, opts, 8)
+
+	first, _ := runSerialSim(t, sys, opts, 4)
+	cp := CheckpointOf(sys, first)
+
+	// Serialize and restore, as a real restart would.
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _ := runSerialSim(t, restored.Sys, restored.Resume(opts), 4)
+
+	for i := 0; i < 4; i++ {
+		want := full.Steps[4+i].ETotal
+		got := second.Steps[i].ETotal
+		if got != want {
+			t.Fatalf("resumed step %d energy %v != continuous %v", i, got, want)
+		}
+	}
+	for i := range full.FinalPos {
+		if full.FinalPos[i] != second.FinalPos[i] {
+			t.Fatalf("final positions diverge at %d", i)
+		}
+	}
+}
+
+func TestCheckpointResumeParallel(t *testing.T) {
+	// A checkpoint taken from a serial run resumes on the parallel
+	// engine with identical physics.
+	sys := molecule.TestComplex(10, 14, 23)
+	opts := Options{Dt: 1e-4, InitTemperature: 150, Seed: 6}
+	first, _ := runSerialSim(t, sys, opts, 3)
+	cp := CheckpointOf(sys, first)
+	serCont, _ := runSerialSim(t, cp.Sys, cp.Resume(opts), 3)
+	parCont, _, _ := runParallelSim(t, platform.J90(), cp.Sys, cp.Resume(opts), 2, 3)
+	for i := range serCont.Steps {
+		if d := relDiff(serCont.Steps[i].ETotal, parCont.Steps[i].ETotal); d > 1e-9 {
+			t.Fatalf("step %d: serial %v vs parallel %v", i,
+				serCont.Steps[i].ETotal, parCont.Steps[i].ETotal)
+		}
+	}
+}
+
+func TestReadCheckpointErrors(t *testing.T) {
+	sys := molecule.TestComplex(4, 4, 24)
+	res, _ := runSerialSim(t, sys, Options{Minimize: true}, 1)
+	cp := CheckpointOf(sys, res)
+	var buf bytes.Buffer
+	cp.Write(&buf)
+	good := buf.String()
+
+	cases := map[string]string{
+		"empty":         "",
+		"no step":       strings.Replace(good, "step 1", "speed 1", 1),
+		"bad vel count": strings.Replace(good, "velocities 24", "velocities 7", 1),
+		"bad vel value": strings.Replace(good, "velocities 24\n", "velocities 24\nx y z\n", 1),
+	}
+	for name, src := range cases {
+		if _, err := ReadCheckpoint(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := ReadCheckpoint(strings.NewReader(good)); err != nil {
+		t.Fatalf("good checkpoint rejected: %v", err)
+	}
+}
+
+func TestResumeNeverRedrawsVelocities(t *testing.T) {
+	opts := Options{InitTemperature: 300}
+	cp := &Checkpoint{Vel: []float64{1, 2, 3}}
+	r := cp.Resume(opts)
+	if r.InitTemperature != 0 || r.StartVelocities == nil {
+		t.Errorf("resume options = %+v", r)
+	}
+}

@@ -1,0 +1,119 @@
+package md
+
+import (
+	"fmt"
+
+	"opalperf/internal/forcefield"
+	"opalperf/internal/md/opalrpc"
+	"opalperf/internal/molecule"
+	"opalperf/internal/pvm"
+	"opalperf/internal/sciddle"
+)
+
+// RunParallel executes the parallel Opal on the calling task (the client)
+// with nservers spawned computation servers, following the client-server
+// replicated-data design of Section 2.1: the client replicates the global
+// interaction data once, then per step ships coordinates, gathers partial
+// energies and gradients, evaluates the bonded terms and integrates.
+func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps int) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := validateRun(sys, steps); err != nil {
+		return nil, err
+	}
+	if nservers <= 0 {
+		return nil, fmt.Errorf("md: need at least one server, have %d", nservers)
+	}
+
+	accounting := opts.Accounting
+	parties := nservers + 1
+	tids := t.Spawn("opal-server", nservers, func(st pvm.Task) {
+		ServeOpal(st, accounting, parties)
+	})
+	conn := sciddle.Connect(t, tids)
+	conn.SetAccounting(accounting)
+	client := opalrpc.NewOpalClient(conn)
+
+	// Replicate the global data (amortized start-up).
+	d := newNBData(sys, opts.Cutoff)
+	types := make([]int64, sys.N)
+	kinds := make([]int64, sys.N)
+	for i := 0; i < sys.N; i++ {
+		types[i] = int64(sys.Type[i])
+		kinds[i] = int64(sys.Kind[i])
+	}
+	client.InitPhase(func(i int) *pvm.Buffer {
+		cell := 0
+		if opts.CellList && sys.CutoffEffective(opts.Cutoff) {
+			cell = 1
+		}
+		return opalrpc.PackOpalInitArgs(sys.N, sys.NSolute, kinds, types,
+			sys.Charge, d.lj.C12, d.lj.C6, d.excl.Keys(), opts.Cutoff, sys.Box,
+			cell, int(opts.Strategy), int(opts.Seed), nservers)
+	})
+
+	if opts.AfterInit != nil {
+		opts.AfterInit()
+	}
+	res := &Result{ServerTIDs: tids}
+	t0 := t.Now()
+	res.InitSeconds = t0
+
+	c := newClientState(sys, opts)
+	grad := make([]float64, 3*sys.N)
+	t.SetWorkingSet(8 * 3 * sys.N * 4)
+	for step := 0; step < steps; step++ {
+		info := StepInfo{}
+		if step%opts.UpdateEvery == 0 {
+			// Update phase: ship coordinates, servers rebuild their
+			// lists; the reply carries no data beyond the completion
+			// signal (eq. 8 of the model).
+			reps := client.UpdatePhase(func(i int) *pvm.Buffer {
+				return opalrpc.PackOpalUpdateArgs(c.pos)
+			})
+			for _, r := range reps {
+				info.PairChecks += r.Checks
+			}
+			info.Updated = true
+		}
+		// Energy evaluation phase: coordinates out, partial energies and
+		// gradients back (eqs. 7 and 9).
+		reps := client.NbintPhase(func(i int) *pvm.Buffer {
+			return opalrpc.PackOpalNbintArgs(c.pos)
+		})
+		for i := range grad {
+			grad[i] = 0
+		}
+		var evdw, ecoul float64
+		for _, r := range reps {
+			evdw += r.Evdw
+			ecoul += r.Ecoul
+			info.ActivePairs += r.Npairs
+			for i, g := range r.Grad {
+				grad[i] += g
+			}
+		}
+		// The gather-and-sum is client work.
+		t.Charge("reduce", forcefield.ReduceOps.Times(float64(3*sys.N*len(reps))))
+		fin := c.finishStep(t, evdw, ecoul, grad)
+		fin.PairChecks = info.PairChecks
+		fin.Updated = info.Updated
+		fin.ActivePairs = info.ActivePairs
+		if opts.Trajectory != nil {
+			if err := opts.Trajectory.Frame(step, fin.ETotal, c.pos); err != nil {
+				return nil, fmt.Errorf("md: trajectory: %w", err)
+			}
+		}
+		res.Steps = append(res.Steps, fin)
+		if opts.Minimize && opts.GradTol > 0 && fin.GradMax < opts.GradTol {
+			res.Converged = true
+			break
+		}
+	}
+	res.StartSeconds = t0
+	res.EndSeconds = t.Now()
+	res.StepSeconds = res.EndSeconds - t0
+	res.FinalPos = append([]float64(nil), c.pos...)
+	res.FinalVel = append([]float64(nil), c.vel...)
+	conn.Close()
+	return res, nil
+}

@@ -1,0 +1,74 @@
+package md
+
+import (
+	"fmt"
+
+	"opalperf/internal/hpm"
+
+	"opalperf/internal/molecule"
+	"opalperf/internal/pairlist"
+	"opalperf/internal/pvm"
+)
+
+// RunSerial executes the single-processor Opal 2.6: one task performs the
+// list updates, the non-bonded evaluation, the bonded terms and the
+// integration.  It runs on either PVM fabric; on the simulated fabric the
+// task's virtual clock yields the serial execution time of the chosen
+// platform.
+func RunSerial(t pvm.Task, sys *molecule.System, opts Options, steps int) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := validateRun(sys, steps); err != nil {
+		return nil, err
+	}
+	d := newNBData(sys, opts.Cutoff)
+	c := newClientState(sys, opts)
+	owners := pairlist.Owners(sys.N, 1, opts.Strategy, opts.Seed)
+	list := pairlist.NewList(sys.N, pairlist.RowsOf(owners, 0))
+
+	res := &Result{}
+	t0 := t.Now()
+	res.InitSeconds = t0
+
+	grad := make([]float64, 3*sys.N)
+	for step := 0; step < steps; step++ {
+		info := StepInfo{}
+		if step%opts.UpdateEvery == 0 {
+			var checks int
+			var ops hpm.Ops
+			if opts.CellList && sys.CutoffEffective(opts.Cutoff) {
+				checks, ops = list.UpdateCells(c.pos, opts.Cutoff, sys.Box, d.excl)
+			} else {
+				checks, ops = list.Update(c.pos, opts.Cutoff, d.excl)
+			}
+			t.SetWorkingSet(list.Bytes() + d.bytes() + 8*3*sys.N*3)
+			t.Charge("update", ops)
+			info.PairChecks = checks
+			info.Updated = true
+		}
+		for i := range grad {
+			grad[i] = 0
+		}
+		evdw, ecoul, ops, npairs := d.evalList(c.pos, list, grad)
+		t.Charge("nbint", ops)
+		fin := c.finishStep(t, evdw, ecoul, grad)
+		fin.PairChecks = info.PairChecks
+		fin.Updated = info.Updated
+		fin.ActivePairs = npairs
+		if opts.Trajectory != nil {
+			if err := opts.Trajectory.Frame(step, fin.ETotal, c.pos); err != nil {
+				return nil, fmt.Errorf("md: trajectory: %w", err)
+			}
+		}
+		res.Steps = append(res.Steps, fin)
+		if opts.Minimize && opts.GradTol > 0 && fin.GradMax < opts.GradTol {
+			res.Converged = true
+			break
+		}
+	}
+	res.StartSeconds = t0
+	res.EndSeconds = t.Now()
+	res.StepSeconds = res.EndSeconds - t0
+	res.FinalPos = append([]float64(nil), c.pos...)
+	res.FinalVel = append([]float64(nil), c.vel...)
+	return res, nil
+}

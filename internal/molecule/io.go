@@ -1,0 +1,309 @@
+package molecule
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// A plain text format for molecular complexes, in the spirit of Opal's
+// input decks: a header with the box and counts, then one line per mass
+// center and per bonded term.  Deterministic output, round-trip exact
+// (coordinates are serialized with full float64 precision).
+
+// Write serializes the system.
+func (s *System) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# opalperf molecular complex\n")
+	fmt.Fprintf(bw, "name %s\n", strings.ReplaceAll(s.Name, "\n", " "))
+	fmt.Fprintf(bw, "box %s\n", ftoa(s.Box))
+	fmt.Fprintf(bw, "atoms %d %d\n", s.N, s.NSolute)
+	for i := 0; i < s.N; i++ {
+		fmt.Fprintf(bw, "%d %d %s %s %s %s %s\n",
+			s.Kind[i], s.Type[i],
+			ftoa(s.Pos[3*i]), ftoa(s.Pos[3*i+1]), ftoa(s.Pos[3*i+2]),
+			ftoa(s.Charge[i]), ftoa(s.Mass[i]))
+	}
+	fmt.Fprintf(bw, "bonds %d\n", len(s.Bonds))
+	for _, b := range s.Bonds {
+		fmt.Fprintf(bw, "%d %d %s %s\n", b.I, b.J, ftoa(b.Kb), ftoa(b.B0))
+	}
+	fmt.Fprintf(bw, "angles %d\n", len(s.Angles))
+	for _, a := range s.Angles {
+		fmt.Fprintf(bw, "%d %d %d %s %s\n", a.I, a.J, a.K, ftoa(a.Ktheta), ftoa(a.Theta0))
+	}
+	fmt.Fprintf(bw, "dihedrals %d\n", len(s.Dihedrals))
+	for _, d := range s.Dihedrals {
+		fmt.Fprintf(bw, "%d %d %d %d %s %d %s\n", d.I, d.J, d.K, d.L, ftoa(d.Kphi), d.N, ftoa(d.Delta))
+	}
+	fmt.Fprintf(bw, "impropers %d\n", len(s.Impropers))
+	for _, im := range s.Impropers {
+		fmt.Fprintf(bw, "%d %d %d %d %s %s\n", im.I, im.J, im.K, im.L, ftoa(im.Kxi), ftoa(im.Xi0))
+	}
+	return bw.Flush()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Read parses a system written by Write and validates it.
+func Read(r io.Reader) (*System, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	next := func() ([]string, error) {
+		for sc.Scan() {
+			line++
+			text := strings.TrimSpace(sc.Text())
+			if text == "" || strings.HasPrefix(text, "#") {
+				continue
+			}
+			return strings.Fields(text), nil
+		}
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("molecule: line %d: unexpected end of file", line)
+	}
+	errf := func(format string, args ...any) error {
+		return fmt.Errorf("molecule: line %d: %s", line, fmt.Sprintf(format, args...))
+	}
+
+	s := &System{}
+	// name
+	f, err := next()
+	if err != nil {
+		return nil, err
+	}
+	if f[0] != "name" {
+		return nil, errf("expected name, got %q", f[0])
+	}
+	s.Name = strings.Join(f[1:], " ")
+	// box
+	if f, err = next(); err != nil {
+		return nil, err
+	}
+	if f[0] != "box" || len(f) != 2 {
+		return nil, errf("expected box")
+	}
+	if s.Box, err = strconv.ParseFloat(f[1], 64); err != nil {
+		return nil, errf("bad box: %v", err)
+	}
+	// atoms
+	if f, err = next(); err != nil {
+		return nil, err
+	}
+	if f[0] != "atoms" || len(f) != 3 {
+		return nil, errf("expected atoms <n> <nsolute>")
+	}
+	n, err1 := strconv.Atoi(f[1])
+	ns, err2 := strconv.Atoi(f[2])
+	if err1 != nil || err2 != nil || n < 0 || ns < 0 || ns > n {
+		return nil, errf("bad atom counts")
+	}
+	s.N, s.NSolute = n, ns
+	s.Kind = make([]Kind, n)
+	s.Type = make([]int, n)
+	s.Pos = make([]float64, 3*n)
+	s.Charge = make([]float64, n)
+	s.Mass = make([]float64, n)
+	for i := 0; i < n; i++ {
+		if f, err = next(); err != nil {
+			return nil, err
+		}
+		if len(f) != 7 {
+			return nil, errf("expected 7 atom fields, got %d", len(f))
+		}
+		kind, err := strconv.Atoi(f[0])
+		if err != nil || (kind != int(Solute) && kind != int(Water)) {
+			return nil, errf("bad kind %q", f[0])
+		}
+		s.Kind[i] = Kind(kind)
+		if s.Type[i], err = strconv.Atoi(f[1]); err != nil || s.Type[i] < 0 || s.Type[i] >= NumTypes {
+			return nil, errf("bad type %q", f[1])
+		}
+		for d := 0; d < 3; d++ {
+			if s.Pos[3*i+d], err = strconv.ParseFloat(f[2+d], 64); err != nil {
+				return nil, errf("bad coordinate: %v", err)
+			}
+		}
+		if s.Charge[i], err = strconv.ParseFloat(f[5], 64); err != nil {
+			return nil, errf("bad charge: %v", err)
+		}
+		if s.Mass[i], err = strconv.ParseFloat(f[6], 64); err != nil {
+			return nil, errf("bad mass: %v", err)
+		}
+	}
+	// bonded sections
+	readCount := func(key string) (int, error) {
+		if f, err = next(); err != nil {
+			return 0, err
+		}
+		if f[0] != key || len(f) != 2 {
+			return 0, errf("expected %s <count>", key)
+		}
+		c, err := strconv.Atoi(f[1])
+		if err != nil || c < 0 {
+			return 0, errf("bad %s count", key)
+		}
+		return c, nil
+	}
+	ints := func(fields []string, k int) ([]int, error) {
+		out := make([]int, k)
+		for i := 0; i < k; i++ {
+			v, err := strconv.Atoi(fields[i])
+			if err != nil {
+				return nil, errf("bad index %q", fields[i])
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	floats := func(fields []string, k int) ([]float64, error) {
+		out := make([]float64, k)
+		for i := 0; i < k; i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, errf("bad value %q", fields[i])
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	nb, err := readCount("bonds")
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < nb; k++ {
+		if f, err = next(); err != nil {
+			return nil, err
+		}
+		if len(f) != 4 {
+			return nil, errf("expected 4 bond fields")
+		}
+		ij, err := ints(f, 2)
+		if err != nil {
+			return nil, err
+		}
+		vv, err := floats(f[2:], 2)
+		if err != nil {
+			return nil, err
+		}
+		s.Bonds = append(s.Bonds, Bond{I: ij[0], J: ij[1], Kb: vv[0], B0: vv[1]})
+	}
+	na, err := readCount("angles")
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < na; k++ {
+		if f, err = next(); err != nil {
+			return nil, err
+		}
+		if len(f) != 5 {
+			return nil, errf("expected 5 angle fields")
+		}
+		ijk, err := ints(f, 3)
+		if err != nil {
+			return nil, err
+		}
+		vv, err := floats(f[3:], 2)
+		if err != nil {
+			return nil, err
+		}
+		s.Angles = append(s.Angles, Angle{I: ijk[0], J: ijk[1], K: ijk[2], Ktheta: vv[0], Theta0: vv[1]})
+	}
+	nd, err := readCount("dihedrals")
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < nd; k++ {
+		if f, err = next(); err != nil {
+			return nil, err
+		}
+		if len(f) != 7 {
+			return nil, errf("expected 7 dihedral fields")
+		}
+		idx, err := ints(f, 4)
+		if err != nil {
+			return nil, err
+		}
+		kphi, err := strconv.ParseFloat(f[4], 64)
+		if err != nil {
+			return nil, errf("bad kphi")
+		}
+		mult, err := strconv.Atoi(f[5])
+		if err != nil {
+			return nil, errf("bad multiplicity")
+		}
+		delta, err := strconv.ParseFloat(f[6], 64)
+		if err != nil {
+			return nil, errf("bad delta")
+		}
+		s.Dihedrals = append(s.Dihedrals, Dihedral{
+			I: idx[0], J: idx[1], K: idx[2], L: idx[3], Kphi: kphi, N: mult, Delta: delta})
+	}
+	ni, err := readCount("impropers")
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < ni; k++ {
+		if f, err = next(); err != nil {
+			return nil, err
+		}
+		if len(f) != 6 {
+			return nil, errf("expected 6 improper fields")
+		}
+		idx, err := ints(f, 4)
+		if err != nil {
+			return nil, err
+		}
+		vv, err := floats(f[4:], 2)
+		if err != nil {
+			return nil, err
+		}
+		s.Impropers = append(s.Impropers, Improper{
+			I: idx[0], J: idx[1], K: idx[2], L: idx[3], Kxi: vv[0], Xi0: vv[1]})
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// WriteXYZ appends one frame in the ubiquitous XYZ trajectory format: an
+// atom count, a comment, then "element x y z" per mass center.
+func (s *System) WriteXYZ(w io.Writer, comment string, pos []float64) error {
+	if pos == nil {
+		pos = s.Pos
+	}
+	if len(pos) != 3*s.N {
+		return fmt.Errorf("molecule: XYZ frame has %d coordinates for %d atoms", len(pos), s.N)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d\n%s\n", s.N, strings.ReplaceAll(comment, "\n", " "))
+	for i := 0; i < s.N; i++ {
+		fmt.Fprintf(bw, "%s %.6f %.6f %.6f\n",
+			elementOf(s.Type[i]), pos[3*i], pos[3*i+1], pos[3*i+2])
+	}
+	return bw.Flush()
+}
+
+func elementOf(t int) string {
+	switch t {
+	case TypeC:
+		return "C"
+	case TypeN:
+		return "N"
+	case TypeO:
+		return "O"
+	case TypeH:
+		return "H"
+	case TypeS:
+		return "S"
+	case TypeW:
+		return "OW" // single-unit water centered on the oxygen
+	}
+	return "X"
+}

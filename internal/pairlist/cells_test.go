@@ -1,0 +1,95 @@
+package pairlist
+
+import (
+	"testing"
+
+	"opalperf/internal/forcefield"
+	"opalperf/internal/molecule"
+)
+
+func TestUpdateCellsMatchesBruteForce(t *testing.T) {
+	sys := molecule.TestComplex(120, 240, 31)
+	ex := forcefield.BuildExclusions(sys)
+	for _, p := range []int{1, 3} {
+		owners := Owners(sys.N, p, LCG, 7)
+		for s := 0; s < p; s++ {
+			rows := RowsOf(owners, s)
+			brute := NewList(sys.N, rows)
+			brute.Update(sys.Pos, 8, ex)
+			cells := NewList(sys.N, rows)
+			cells.UpdateCells(sys.Pos, 8, sys.Box, ex)
+			if brute.NActive != cells.NActive {
+				t.Fatalf("p=%d s=%d: active %d vs %d", p, s, brute.NActive, cells.NActive)
+			}
+			for r := range rows {
+				if len(brute.Pairs[r]) != len(cells.Pairs[r]) {
+					t.Fatalf("row %d: %d vs %d partners", rows[r], len(brute.Pairs[r]), len(cells.Pairs[r]))
+				}
+				for k := range brute.Pairs[r] {
+					if brute.Pairs[r][k] != cells.Pairs[r][k] {
+						t.Fatalf("row %d partner %d: %d vs %d (order must match exactly)",
+							rows[r], k, brute.Pairs[r][k], cells.Pairs[r][k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestUpdateCellsFewerChecks(t *testing.T) {
+	sys := molecule.TestComplex(400, 800, 32)
+	owners := Owners(sys.N, 1, LCG, 1)
+	rows := RowsOf(owners, 0)
+	brute := NewList(sys.N, rows)
+	bc, _ := brute.Update(sys.Pos, 6, nil)
+	cells := NewList(sys.N, rows)
+	cc, _ := cells.UpdateCells(sys.Pos, 6, sys.Box, nil)
+	if cc*3 >= bc {
+		t.Errorf("cell checks %d not well below brute-force %d", cc, bc)
+	}
+	if sp := CellSpeedup(sys.N, 6, sys.Box); sp < 2 {
+		t.Errorf("estimated speedup = %v", sp)
+	}
+}
+
+func TestUpdateCellsHandlesStrayAtoms(t *testing.T) {
+	sys := molecule.TestComplex(30, 60, 33)
+	// Push a few atoms outside the box (minimizer drift does this).
+	sys.Pos[0] = -3
+	sys.Pos[4] = sys.Box + 2.5
+	sys.Pos[8] = -0.1
+	owners := Owners(sys.N, 1, LCG, 1)
+	rows := RowsOf(owners, 0)
+	brute := NewList(sys.N, rows)
+	brute.Update(sys.Pos, 7, nil)
+	cells := NewList(sys.N, rows)
+	cells.UpdateCells(sys.Pos, 7, sys.Box, nil)
+	if brute.NActive != cells.NActive {
+		t.Fatalf("active %d vs %d with stray atoms", brute.NActive, cells.NActive)
+	}
+}
+
+func TestUpdateCellsPanicsWithoutCutoff(t *testing.T) {
+	l := NewList(4, []int{0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.UpdateCells(make([]float64, 12), 0, 10, nil)
+}
+
+func TestUpdateCellsTinyBox(t *testing.T) {
+	// Cut-off larger than the box: one cell, degenerates to brute force
+	// but must stay correct.
+	sys := molecule.TestComplex(10, 10, 34)
+	owners := Owners(sys.N, 1, LCG, 1)
+	rows := RowsOf(owners, 0)
+	brute := NewList(sys.N, rows)
+	brute.Update(sys.Pos, sys.Box*2, nil)
+	cells := NewList(sys.N, rows)
+	cells.UpdateCells(sys.Pos, sys.Box*2, sys.Box, nil)
+	if brute.NActive != cells.NActive {
+		t.Fatalf("active %d vs %d", brute.NActive, cells.NActive)
+	}
+}

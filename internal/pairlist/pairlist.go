@@ -1,0 +1,264 @@
+// Package pairlist implements Opal's cut-off pair lists and the
+// pseudo-random distribution of the pair computation across servers
+// (Section 2.1 of the paper).
+//
+// Work is distributed by rows of the upper-triangular pair matrix: row i
+// holds the pairs (i, j) with j > i, keeping the inner loop contiguous and
+// vectorizable as in the original Fortran.  Three strategies are provided:
+//
+//   - LCG, the faithful reconstruction of Opal's "pseudo-random strategy":
+//     one draw of a power-of-two-modulus linear congruential generator per
+//     row, taken modulo the server count.  Because the low-order bits of
+//     such a generator are far from random (bit 0 strictly alternates),
+//     the assignment is parity-locked for EVEN server counts: with the
+//     solvation code's interleaved storage order (solute atoms at even
+//     indices), the heavier solute rows concentrate on one parity class of
+//     servers.  This reproduces the load-imbalance anomaly at even server
+//     counts that the paper's instrumentation uncovered; odd server counts
+//     decorrelate and balance well.
+//   - RoundRobin, the naive cyclic assignment i mod p, which suffers the
+//     same parity resonance by construction.
+//   - Folded, the balanced baseline: row i is fused with its mirror row
+//     n-1-i (constant combined length) and fused rows are dealt
+//     round-robin, which balances both length and composition.
+package pairlist
+
+import (
+	"fmt"
+
+	"opalperf/internal/forcefield"
+	"opalperf/internal/hpm"
+)
+
+// Strategy selects the pair-distribution scheme.
+type Strategy int
+
+const (
+	// LCG is Opal's pseudo-random strategy (default; shows the even-p
+	// anomaly).
+	LCG Strategy = iota
+	// RoundRobin assigns row i to server i mod p.
+	RoundRobin
+	// Folded pairs mirror rows before dealing round-robin (balanced).
+	Folded
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case LCG:
+		return "lcg"
+	case RoundRobin:
+		return "round-robin"
+	case Folded:
+		return "folded"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy maps a name to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "lcg":
+		return LCG, nil
+	case "round-robin", "rr":
+		return RoundRobin, nil
+	case "folded":
+		return Folded, nil
+	}
+	return 0, fmt.Errorf("pairlist: unknown strategy %q (want lcg, round-robin or folded)", name)
+}
+
+// LCG constants: modulus 2^31 with multiplier ≡ 1 (mod 4) and odd
+// increment, so the generator has full period (Hull–Dobell) and its low k
+// bits cycle with period 2^k — in particular bit 0 strictly alternates.
+// The multiplier is additionally ≡ 1 (mod 3·5·7) and the increment coprime
+// to 3·5·7, which makes the draw equidistributed modulo every small odd
+// server count.  Even server counts therefore get balanced *counts* but a
+// parity-locked *composition* — the even-p anomaly; odd counts get both.
+const (
+	lcgA = 1117621 // 420*2661 + 1
+	lcgC = 12347
+	lcgM = 1 << 31
+)
+
+func lcgNext(state uint64) uint64 { return (lcgA*state + lcgC) % lcgM }
+
+// oddStride returns the smallest odd stride >= s that is coprime to p, so
+// the affine deal visits every server.
+func oddStride(s, p int) int {
+	if s < 1 {
+		s = 1
+	}
+	s |= 1
+	for gcd(s, p) != 1 {
+		s += 2
+	}
+	return s
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+// Owners assigns each of the n rows to one of p servers under the given
+// strategy.  seed perturbs the LCG start state.
+func Owners(n, p int, strat Strategy, seed int64) []int {
+	if p <= 0 {
+		panic("pairlist: need at least one server")
+	}
+	owners := make([]int, n)
+	switch strat {
+	case LCG:
+		// Fused row pairs (i, n-1-i) — constant work per unit, the
+		// standard triangular-loop balancing trick — dealt by an affine
+		// congruential map owner(u) = (r + sigma*u) mod p with an
+		// LCG-drawn offset r and odd stride sigma.  Counts come out
+		// exactly equal for every p, but because sigma is odd the even
+		// units {r, r+2sigma, ...} cover only gcd(2sigma,p)=2 half of
+		// the servers when p is even: the parity of the unit index —
+		// which with the interleaved storage order is the solute/water
+		// split — is locked onto a parity class of servers.  Odd p mixes
+		// perfectly (gcd(2sigma,p)=1).  This is the even-server anomaly.
+		state := lcgNext(uint64(seed)%lcgM | 1)
+		r := int(state % uint64(p))
+		state = lcgNext(state)
+		sigma := oddStride(int(state%uint64(p))|1, p)
+		for u := 0; u < (n+1)/2; u++ {
+			o := (r + u*sigma) % p
+			owners[u] = o
+			owners[n-1-u] = o
+		}
+	case RoundRobin:
+		for i := 0; i < n; i++ {
+			owners[i] = i % p
+		}
+	case Folded:
+		// Deal fused (i, n-1-i) row pairs round-robin in groups of two,
+		// so each server receives consecutive (even, odd) fused rows:
+		// constant combined length AND balanced composition.
+		for i := 0; i < (n+1)/2; i++ {
+			o := (i / 2) % p
+			owners[i] = o
+			owners[n-1-i] = o
+		}
+	default:
+		panic(fmt.Sprintf("pairlist: unknown strategy %d", strat))
+	}
+	return owners
+}
+
+// RowsOf returns the rows owned by server `owner` under the assignment.
+func RowsOf(owners []int, owner int) []int {
+	var rows []int
+	for i, o := range owners {
+		if o == owner {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+// PairChecks returns the number of distance checks a server performs per
+// list update: sum over its rows of (n-1-i).
+func PairChecks(rows []int, n int) int {
+	c := 0
+	for _, i := range rows {
+		c += n - 1 - i
+	}
+	return c
+}
+
+// List is one server's active pair list.
+type List struct {
+	N    int   // total mass centers
+	Rows []int // owned row indices
+	// Pairs[r] holds the partners j (> Rows[r]) within the cut-off.
+	Pairs   [][]int32
+	NActive int
+}
+
+// NewList prepares an empty list for the given rows.
+func NewList(n int, rows []int) *List {
+	return &List{N: n, Rows: rows, Pairs: make([][]int32, len(rows))}
+}
+
+// Update rebuilds the active pair list: for every owned row the distance
+// to all partners j > i is checked against the cut-off, and excluded
+// (bonded) pairs are screened out.  cutoff <= 0 disables the radius test
+// (every non-excluded pair is active) but still costs the checks, exactly
+// like an ineffective 60 A cut-off.  It returns the number of checks and
+// the op count incurred.
+func (l *List) Update(pos []float64, cutoff float64, excl *forcefield.Exclusions) (checks int, ops hpm.Ops) {
+	c2 := cutoff * cutoff
+	useCut := cutoff > 0
+	nexcl := 0
+	l.NActive = 0
+	for r, i := range l.Rows {
+		ps := l.Pairs[r][:0]
+		for j := i + 1; j < l.N; j++ {
+			checks++
+			if useCut && forcefield.Dist2(pos, i, j) > c2 {
+				continue
+			}
+			if excl != nil && excl.Excluded(i, j) {
+				nexcl++
+				continue
+			}
+			ps = append(ps, int32(j))
+		}
+		l.Pairs[r] = ps
+		l.NActive += len(ps)
+	}
+	ops = forcefield.PairCheckOps.Times(float64(checks))
+	ops = ops.Plus(forcefield.ExclusionOps.Times(float64(nexcl)))
+	return checks, ops
+}
+
+// Bytes returns the memory the list occupies (4 bytes per stored partner),
+// the working-set contribution of the "list of all active pairs".
+func (l *List) Bytes() int {
+	return 4 * l.NActive
+}
+
+// Stats summarizes an assignment for balance analysis.
+type Stats struct {
+	PerServer []int // pair checks per server
+	Min, Max  int
+	Mean      float64
+}
+
+// AssignmentStats computes the per-server pair-check loads of an owner
+// assignment.
+func AssignmentStats(owners []int, p int) Stats {
+	n := len(owners)
+	st := Stats{PerServer: make([]int, p)}
+	for i, o := range owners {
+		st.PerServer[o] += n - 1 - i
+	}
+	st.Min = st.PerServer[0]
+	for _, v := range st.PerServer {
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+		st.Mean += float64(v)
+	}
+	st.Mean /= float64(p)
+	return st
+}
+
+// Imbalance returns (max-mean)/mean of the per-server loads.
+func (s Stats) Imbalance() float64 {
+	if s.Mean == 0 {
+		return 0
+	}
+	return (float64(s.Max) - s.Mean) / s.Mean
+}

@@ -1,0 +1,297 @@
+package pairlist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"opalperf/internal/forcefield"
+	"opalperf/internal/molecule"
+)
+
+func TestOwnersCoverAllRows(t *testing.T) {
+	for _, strat := range []Strategy{LCG, RoundRobin, Folded} {
+		for _, p := range []int{1, 2, 3, 5, 7} {
+			owners := Owners(100, p, strat, 1)
+			if len(owners) != 100 {
+				t.Fatalf("%v p=%d: %d owners", strat, p, len(owners))
+			}
+			for i, o := range owners {
+				if o < 0 || o >= p {
+					t.Fatalf("%v p=%d: owner[%d] = %d", strat, p, i, o)
+				}
+			}
+		}
+	}
+}
+
+func TestRowsOfPartition(t *testing.T) {
+	owners := Owners(50, 3, LCG, 7)
+	total := 0
+	seen := make([]bool, 50)
+	for s := 0; s < 3; s++ {
+		for _, r := range RowsOf(owners, s) {
+			if seen[r] {
+				t.Fatalf("row %d assigned twice", r)
+			}
+			seen[r] = true
+			total++
+		}
+	}
+	if total != 50 {
+		t.Fatalf("rows covered = %d", total)
+	}
+}
+
+func TestSingleServerGetsEverything(t *testing.T) {
+	owners := Owners(10, 1, LCG, 1)
+	rows := RowsOf(owners, 0)
+	if len(rows) != 10 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if got := PairChecks(rows, 10); got != 45 {
+		t.Errorf("checks = %d, want 45 = 10*9/2", got)
+	}
+}
+
+func TestPairChecksArithmetic(t *testing.T) {
+	// Rows 0 and 9 of a 10-row triangle: 9 + 0 checks.
+	if got := PairChecks([]int{0, 9}, 10); got != 9 {
+		t.Errorf("checks = %d, want 9", got)
+	}
+}
+
+func TestLCGCheckCountsRoughlyBalanced(t *testing.T) {
+	// The LCG strategy balances raw check counts for every p up to the
+	// sqrt-level noise of a random deal (the anomaly is in pair
+	// *composition*, not count).
+	for _, p := range []int{2, 3, 4, 5, 6, 7} {
+		owners := Owners(4289, p, LCG, 42)
+		st := AssignmentStats(owners, p)
+		if imb := st.Imbalance(); imb > 0.10 {
+			t.Errorf("p=%d: check-count imbalance %.3f > 10%%", p, imb)
+		}
+	}
+}
+
+func TestFoldedIsNearPerfect(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 6, 7} {
+		owners := Owners(5000, p, Folded, 0)
+		st := AssignmentStats(owners, p)
+		if imb := st.Imbalance(); imb > 0.01 {
+			t.Errorf("p=%d: folded imbalance %.4f > 1%%", p, imb)
+		}
+	}
+}
+
+// soluteRowShare computes, per server, the fraction of its pair checks
+// from solute rows of an interleaved complex (solute at even indices up
+// to 2*nsolute).
+func soluteRowShare(owners []int, nsolute, p int) []float64 {
+	n := len(owners)
+	sol := make([]float64, p)
+	tot := make([]float64, p)
+	for i, o := range owners {
+		w := float64(n - 1 - i)
+		tot[o] += w
+		if i < 2*nsolute && i%2 == 0 {
+			sol[o] += w
+		}
+	}
+	for s := range sol {
+		if tot[s] > 0 {
+			sol[s] /= tot[s]
+		}
+	}
+	return sol
+}
+
+// TestEvenServerParityLock is the root cause of the paper's even-server
+// anomaly: with an even server count, the LCG's alternating low bit locks
+// the (heavier) solute rows onto one parity class of servers.
+func TestEvenServerParityLock(t *testing.T) {
+	const n, nsolute = 4289, 1575
+	spread := func(p int) (min, max float64) {
+		shares := soluteRowShare(Owners(n, p, LCG, 42), nsolute, p)
+		min, max = shares[0], shares[0]
+		for _, s := range shares[1:] {
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		return min, max
+	}
+	// Even p: some servers get essentially all solute rows, others none.
+	for _, p := range []int{2, 4, 6} {
+		min, max := spread(p)
+		if max-min < 0.3 {
+			t.Errorf("p=%d: solute-share spread %.3f..%.3f too small for the anomaly", p, min, max)
+		}
+	}
+	// Odd p: all servers get a similar mix.
+	for _, p := range []int{3, 5, 7} {
+		min, max := spread(p)
+		if max-min > 0.1 {
+			t.Errorf("p=%d: solute-share spread %.3f..%.3f should be balanced", p, min, max)
+		}
+	}
+}
+
+func TestFoldedBreaksParityLock(t *testing.T) {
+	const n, nsolute = 4289, 1575
+	shares := soluteRowShare(Owners(n, 2, Folded, 42), nsolute, 2)
+	if d := shares[0] - shares[1]; d > 0.1 || d < -0.1 {
+		t.Errorf("folded p=2 solute shares %v should be balanced", shares)
+	}
+}
+
+func TestListUpdateNoCutoff(t *testing.T) {
+	sys := molecule.TestComplex(6, 6, 9)
+	owners := Owners(sys.N, 1, LCG, 1)
+	l := NewList(sys.N, RowsOf(owners, 0))
+	checks, ops := l.Update(sys.Pos, 0, nil)
+	want := sys.N * (sys.N - 1) / 2
+	if checks != want {
+		t.Errorf("checks = %d, want %d", checks, want)
+	}
+	if l.NActive != want {
+		t.Errorf("active = %d, want all %d pairs without cut-off", l.NActive, want)
+	}
+	if ops.Cmp != float64(want) {
+		t.Errorf("cmp ops = %v, want %d", ops.Cmp, want)
+	}
+}
+
+func TestListUpdateCutoffReduces(t *testing.T) {
+	sys := molecule.Antennapedia()
+	owners := Owners(sys.N, 4, LCG, 1)
+	all, within := 0, 0
+	for s := 0; s < 4; s++ {
+		l := NewList(sys.N, RowsOf(owners, s))
+		checks, _ := l.Update(sys.Pos, 10, nil)
+		all += checks
+		within += l.NActive
+	}
+	total := sys.N * (sys.N - 1) / 2
+	if all != total {
+		t.Errorf("checks = %d, want %d", all, total)
+	}
+	if within >= total/5 {
+		t.Errorf("cut-off kept %d of %d pairs; expected drastic reduction", within, total)
+	}
+	if within == 0 {
+		t.Error("cut-off removed everything")
+	}
+}
+
+func TestListUpdateExclusions(t *testing.T) {
+	sys := molecule.TestComplex(8, 2, 10)
+	ex := forcefield.BuildExclusions(sys)
+	owners := Owners(sys.N, 1, LCG, 1)
+	l := NewList(sys.N, RowsOf(owners, 0))
+	_, _ = l.Update(sys.Pos, 0, ex)
+	total := sys.N * (sys.N - 1) / 2
+	if l.NActive != total-ex.Len() {
+		t.Errorf("active = %d, want %d - %d exclusions", l.NActive, total, ex.Len())
+	}
+	for r, i := range l.Rows {
+		for _, j := range l.Pairs[r] {
+			if ex.Excluded(i, int(j)) {
+				t.Fatalf("excluded pair (%d,%d) in list", i, j)
+			}
+		}
+	}
+}
+
+func TestListUpdateIdempotent(t *testing.T) {
+	sys := molecule.TestComplex(10, 10, 3)
+	owners := Owners(sys.N, 2, LCG, 5)
+	l := NewList(sys.N, RowsOf(owners, 1))
+	c1, _ := l.Update(sys.Pos, 8, nil)
+	n1 := l.NActive
+	c2, _ := l.Update(sys.Pos, 8, nil)
+	if c1 != c2 || l.NActive != n1 {
+		t.Errorf("update not idempotent: %d/%d vs %d/%d", c1, n1, c2, l.NActive)
+	}
+}
+
+func TestListBytes(t *testing.T) {
+	sys := molecule.TestComplex(5, 5, 3)
+	owners := Owners(sys.N, 1, LCG, 1)
+	l := NewList(sys.N, RowsOf(owners, 0))
+	l.Update(sys.Pos, 0, nil)
+	if l.Bytes() != 4*l.NActive {
+		t.Errorf("bytes = %d", l.Bytes())
+	}
+}
+
+func TestStrategyParseAndString(t *testing.T) {
+	for _, name := range []string{"lcg", "round-robin", "folded"} {
+		s, err := ParseStrategy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.String() != name {
+			t.Errorf("round trip %q -> %q", name, s.String())
+		}
+	}
+	if s, err := ParseStrategy("rr"); err != nil || s != RoundRobin {
+		t.Error("rr alias broken")
+	}
+	if _, err := ParseStrategy("quantum"); err == nil {
+		t.Error("expected error")
+	}
+	if Strategy(9).String() == "" {
+		t.Error("unknown strategy string empty")
+	}
+}
+
+func TestOwnersPanicsOnBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Owners(10, 0, LCG, 1)
+}
+
+// Property: every strategy partitions all rows for any (n, p, seed).
+func TestPartitionProperty(t *testing.T) {
+	f := func(n16 uint16, p8 uint8, seed int64) bool {
+		n := int(n16)%500 + 1
+		p := int(p8)%8 + 1
+		for _, strat := range []Strategy{LCG, RoundRobin, Folded} {
+			owners := Owners(n, p, strat, seed)
+			count := 0
+			for s := 0; s < p; s++ {
+				count += len(RowsOf(owners, s))
+			}
+			if count != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the union of all servers' checks equals the full triangle.
+func TestChecksSumProperty(t *testing.T) {
+	f := func(n16 uint16, p8 uint8) bool {
+		n := int(n16)%300 + 2
+		p := int(p8)%6 + 1
+		owners := Owners(n, p, LCG, 3)
+		sum := 0
+		for s := 0; s < p; s++ {
+			sum += PairChecks(RowsOf(owners, s), n)
+		}
+		return sum == n*(n-1)/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

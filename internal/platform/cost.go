@@ -1,0 +1,70 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cost-effectiveness: the paper's primary goal was "to find the most
+// suitable and most cost effective hardware platform for the
+// application".  PriceUSD returns rough 1998 list prices per processor
+// (node) for each platform — order-of-magnitude figures from the trade
+// press of the era, good enough to rank platforms the way the paper's
+// conclusion does.
+func PriceUSD(pl *Platform) (perProcessor float64, note string) {
+	switch pl.Name {
+	case T3E900().Name:
+		return 120_000, "per T3E-900 PE incl. interconnect share"
+	case J90().Name:
+		return 180_000, "per J90 Classic CPU incl. memory/crossbar share"
+	case SlowCoPs().Name:
+		return 3_000, "Pentium Pro 200 box + shared Ethernet"
+	case SMPCoPs().Name:
+		return 9_000, "dual Pentium Pro node + SCI adapter"
+	case FastCoPs().Name:
+		return 7_500, "Pentium II 400 box + Myrinet NIC + switch share"
+	}
+	return 0, "unknown platform"
+}
+
+// CostCase ranks one platform for a given workload.
+type CostCase struct {
+	Platform   string
+	Processors int
+	PriceUSD   float64 // total system price
+	Seconds    float64 // predicted execution time
+	// CostSeconds is price x time: dollars spent per unit of this
+	// workload's throughput (lower is better).
+	CostSeconds float64
+}
+
+// RankByCost orders platforms by price x predicted-time for a workload,
+// given each platform's predicted execution time at the chosen processor
+// count.  times maps platform name to predicted seconds.
+func RankByCost(pls []*Platform, processors int, times map[string]float64) []CostCase {
+	out := make([]CostCase, 0, len(pls))
+	for _, pl := range pls {
+		per, _ := PriceUSD(pl)
+		t, ok := times[pl.Name]
+		if !ok || per == 0 {
+			continue
+		}
+		// The client occupies one extra processor.
+		n := processors + 1
+		price := per * float64(n)
+		out = append(out, CostCase{
+			Platform:    pl.Name,
+			Processors:  n,
+			PriceUSD:    price,
+			Seconds:     t,
+			CostSeconds: price * t,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CostSeconds < out[j].CostSeconds })
+	return out
+}
+
+func (c CostCase) String() string {
+	return fmt.Sprintf("%s: %d cpus, $%.0f, %.2fs -> %.0f $*s",
+		c.Platform, c.Processors, c.PriceUSD, c.Seconds, c.CostSeconds)
+}

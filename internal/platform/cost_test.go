@@ -1,0 +1,71 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPriceCatalogue(t *testing.T) {
+	for _, pl := range All() {
+		per, note := PriceUSD(pl)
+		if per <= 0 {
+			t.Errorf("%s has no price", pl.Name)
+		}
+		if note == "" || note == "unknown platform" {
+			t.Errorf("%s note = %q", pl.Name, note)
+		}
+	}
+	// PCs are an order of magnitude cheaper than the big irons.
+	j90, _ := PriceUSD(J90())
+	fast, _ := PriceUSD(FastCoPs())
+	if j90 < 10*fast {
+		t.Errorf("J90 $%.0f should dwarf a PC node $%.0f", j90, fast)
+	}
+	if per, _ := PriceUSD(&Platform{Name: "imaginary"}); per != 0 {
+		t.Error("unknown platform priced")
+	}
+}
+
+func TestRankByCostPrefersClusters(t *testing.T) {
+	// With the paper's cut-off prediction at p=7 (medium complex), the
+	// clusters of PCs crush the big irons on price x time — the paper's
+	// cost-effectiveness conclusion.
+	times := map[string]float64{
+		T3E900().Name:   3.79,
+		J90().Name:      12.53,
+		SlowCoPs().Name: 14.02,
+		SMPCoPs().Name:  3.33,
+		FastCoPs().Name: 2.54,
+	}
+	ranked := RankByCost(All(), 7, times)
+	if len(ranked) != 5 {
+		t.Fatalf("ranked = %d", len(ranked))
+	}
+	if !strings.Contains(ranked[0].Platform, "CoPs") {
+		t.Errorf("cheapest = %s, want a Cluster of PCs", ranked[0].Platform)
+	}
+	last := ranked[len(ranked)-1].Platform
+	if !strings.Contains(last, "Cray") {
+		t.Errorf("most expensive = %s, want a Cray", last)
+	}
+	// Monotone ordering.
+	for i := 1; i < len(ranked); i++ {
+		if ranked[i].CostSeconds < ranked[i-1].CostSeconds {
+			t.Error("ranking not sorted")
+		}
+	}
+	// The client processor is counted.
+	if ranked[0].Processors != 8 {
+		t.Errorf("processors = %d, want 7 servers + client", ranked[0].Processors)
+	}
+	if !strings.Contains(ranked[0].String(), "$") {
+		t.Error("string rendering broken")
+	}
+}
+
+func TestRankByCostSkipsUnknown(t *testing.T) {
+	times := map[string]float64{"nope": 1}
+	if got := RankByCost(All(), 4, times); len(got) != 0 {
+		t.Errorf("ranked unknown platforms: %v", got)
+	}
+}

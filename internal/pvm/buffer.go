@@ -1,0 +1,271 @@
+// Package pvm is a PVM-3-style message-passing library: tasks with ids,
+// typed pack/unpack buffers, point-to-point sends with (source, tag)
+// matching, multicast, and barriers.  It is the substrate the Sciddle RPC
+// middleware (and thus parallel Opal) runs on, mirroring the role PVM
+// played in the paper.
+//
+// Two fabrics implement the same Task interface:
+//
+//   - the simulated fabric (NewSimVM) runs tasks as processes of the
+//     internal/vm discrete-event kernel on a chosen platform model, so a
+//     run yields the *virtual* execution time Opal would have had on a
+//     Cray J90, a T3E-900 or a Cluster of PCs;
+//   - the local fabric (NewLocalVM) runs tasks as real goroutines with
+//     channel-backed mailboxes, for functional testing under the race
+//     detector and for demonstrations on the host machine.
+package pvm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tag values below ReservedTagBase are free for applications; the Sciddle
+// middleware allocates tags from ReservedTagBase upward.
+const ReservedTagBase = 1 << 20
+
+// AnySrc and AnyTag are wildcards for Recv and Probe, like pvm_recv(-1,-1).
+const (
+	AnySrc = -1
+	AnyTag = -1
+)
+
+type itemKind uint8
+
+const (
+	kindF64s itemKind = iota
+	kindI64s
+	kindBytes
+	kindString
+)
+
+type item struct {
+	kind itemKind
+	f64s []float64
+	i64s []int64
+	raw  []byte
+	str  string
+}
+
+func (it item) bytes() int {
+	const header = 4 // per-item type/length header, as a real wire format would carry
+	switch it.kind {
+	case kindF64s:
+		return header + 8*len(it.f64s)
+	case kindI64s:
+		return header + 8*len(it.i64s)
+	case kindBytes:
+		return header + len(it.raw)
+	case kindString:
+		return header + len(it.str)
+	}
+	return header
+}
+
+// Buffer is a typed message buffer in the style of pvm_pkdouble /
+// pvm_upkdouble: values are packed in order and must be unpacked in the
+// same order and with the same types.  Packed data is copied, so the
+// sender may reuse its arrays immediately; unpacked slices are copies too.
+type Buffer struct {
+	items []item
+	pos   int
+}
+
+// NewBuffer returns an empty send buffer (pvm_initsend).
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// Bytes returns the total message volume in bytes, the quantity charged by
+// the communication cost model.
+func (b *Buffer) Bytes() int {
+	n := 0
+	for _, it := range b.items {
+		n += it.bytes()
+	}
+	return n
+}
+
+// Items returns the number of packed items.
+func (b *Buffer) Items() int { return len(b.items) }
+
+// Reader returns a fresh unpack cursor over the same (immutable) items,
+// so a multicast buffer can be unpacked independently by every receiver.
+func (b *Buffer) Reader() *Buffer { return &Buffer{items: b.items} }
+
+// reader is the internal alias used by the fabrics.
+func (b *Buffer) reader() *Buffer { return b.Reader() }
+
+// CopyNext moves the next unread item of b onto the end of dst without
+// interpreting it (used by middleware that forwards opaque payloads).
+func (b *Buffer) CopyNext(dst *Buffer) error {
+	if b.pos >= len(b.items) {
+		return fmt.Errorf("pvm: CopyNext past end of buffer (item %d)", b.pos)
+	}
+	dst.items = append(dst.items, b.items[b.pos])
+	b.pos++
+	return nil
+}
+
+// PackFloat64s appends a copy of xs.
+func (b *Buffer) PackFloat64s(xs []float64) *Buffer {
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	b.items = append(b.items, item{kind: kindF64s, f64s: cp})
+	return b
+}
+
+// PackFloat64 appends a single float64.
+func (b *Buffer) PackFloat64(x float64) *Buffer { return b.PackFloat64s([]float64{x}) }
+
+// PackInt64s appends a copy of xs.
+func (b *Buffer) PackInt64s(xs []int64) *Buffer {
+	cp := make([]int64, len(xs))
+	copy(cp, xs)
+	b.items = append(b.items, item{kind: kindI64s, i64s: cp})
+	return b
+}
+
+// PackInt appends a single integer.
+func (b *Buffer) PackInt(x int) *Buffer { return b.PackInt64s([]int64{int64(x)}) }
+
+// PackBytes appends a copy of raw bytes.
+func (b *Buffer) PackBytes(p []byte) *Buffer {
+	cp := make([]byte, len(p))
+	copy(cp, p)
+	b.items = append(b.items, item{kind: kindBytes, raw: cp})
+	return b
+}
+
+// PackString appends a string.
+func (b *Buffer) PackString(s string) *Buffer {
+	b.items = append(b.items, item{kind: kindString, str: s})
+	return b
+}
+
+func (b *Buffer) next(kind itemKind) (item, error) {
+	if b.pos >= len(b.items) {
+		return item{}, fmt.Errorf("pvm: unpack past end of buffer (item %d)", b.pos)
+	}
+	it := b.items[b.pos]
+	if it.kind != kind {
+		return item{}, fmt.Errorf("pvm: unpack type mismatch at item %d: have %d, want %d", b.pos, it.kind, kind)
+	}
+	b.pos++
+	return it, nil
+}
+
+// UnpackFloat64s removes and returns the next item as a fresh []float64.
+func (b *Buffer) UnpackFloat64s() ([]float64, error) {
+	it, err := b.next(kindF64s)
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]float64, len(it.f64s))
+	copy(cp, it.f64s)
+	return cp, nil
+}
+
+// UnpackFloat64sInto copies the next float64 item into dst, which must
+// have the exact length.
+func (b *Buffer) UnpackFloat64sInto(dst []float64) error {
+	it, err := b.next(kindF64s)
+	if err != nil {
+		return err
+	}
+	if len(dst) != len(it.f64s) {
+		return fmt.Errorf("pvm: unpack into wrong length %d, message has %d", len(dst), len(it.f64s))
+	}
+	copy(dst, it.f64s)
+	return nil
+}
+
+// UnpackFloat64 removes a single float64.
+func (b *Buffer) UnpackFloat64() (float64, error) {
+	xs, err := b.UnpackFloat64s()
+	if err != nil {
+		return math.NaN(), err
+	}
+	if len(xs) != 1 {
+		return math.NaN(), fmt.Errorf("pvm: expected scalar float64, have %d values", len(xs))
+	}
+	return xs[0], nil
+}
+
+// UnpackInt64s removes and returns the next item as a fresh []int64.
+func (b *Buffer) UnpackInt64s() ([]int64, error) {
+	it, err := b.next(kindI64s)
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]int64, len(it.i64s))
+	copy(cp, it.i64s)
+	return cp, nil
+}
+
+// UnpackInt removes a single integer.
+func (b *Buffer) UnpackInt() (int, error) {
+	xs, err := b.UnpackInt64s()
+	if err != nil {
+		return 0, err
+	}
+	if len(xs) != 1 {
+		return 0, fmt.Errorf("pvm: expected scalar int, have %d values", len(xs))
+	}
+	return int(xs[0]), nil
+}
+
+// UnpackBytes removes and returns the next raw item.
+func (b *Buffer) UnpackBytes() ([]byte, error) {
+	it, err := b.next(kindBytes)
+	if err != nil {
+		return nil, err
+	}
+	cp := make([]byte, len(it.raw))
+	copy(cp, it.raw)
+	return cp, nil
+}
+
+// UnpackString removes and returns the next string item.
+func (b *Buffer) UnpackString() (string, error) {
+	it, err := b.next(kindString)
+	if err != nil {
+		return "", err
+	}
+	return it.str, nil
+}
+
+// MustFloat64s unpacks or panics; for protocol positions that cannot fail
+// absent a programming error.
+func (b *Buffer) MustFloat64s() []float64 {
+	xs, err := b.UnpackFloat64s()
+	if err != nil {
+		panic(err)
+	}
+	return xs
+}
+
+// MustFloat64 unpacks a scalar or panics.
+func (b *Buffer) MustFloat64() float64 {
+	x, err := b.UnpackFloat64()
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+// MustInt unpacks a scalar int or panics.
+func (b *Buffer) MustInt() int {
+	x, err := b.UnpackInt()
+	if err != nil {
+		panic(err)
+	}
+	return x
+}
+
+// MustString unpacks a string or panics.
+func (b *Buffer) MustString() string {
+	s, err := b.UnpackString()
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,65 @@
+package pvm
+
+import "fmt"
+
+// Collective helpers in the style of PVM 3's group operations
+// (pvm_gather / pvm_reduce), built over the point-to-point primitives so
+// they work on every fabric.
+
+// Gather receives exactly one message with the given tag from every
+// listed source task and returns the buffers in source order, regardless
+// of arrival order.
+func Gather(t Task, srcs []int, tag int) []*Buffer {
+	out := make([]*Buffer, len(srcs))
+	index := make(map[int]int, len(srcs))
+	for i, s := range srcs {
+		index[s] = i
+	}
+	for range srcs {
+		b, src, _ := t.Recv(AnySrc, tag)
+		i, ok := index[src]
+		if !ok {
+			panic(fmt.Sprintf("pvm: gather received from unexpected task %d", src))
+		}
+		if out[i] != nil {
+			panic(fmt.Sprintf("pvm: gather received twice from task %d", src))
+		}
+		out[i] = b
+	}
+	return out
+}
+
+// ReduceSum receives one float64 vector from every source and accumulates
+// the element-wise sum into dst (which must have the vectors' length).
+// It returns the number of elements reduced.
+func ReduceSum(t Task, srcs []int, tag int, dst []float64) (int, error) {
+	for range srcs {
+		b, src, _ := t.Recv(AnySrc, tag)
+		xs, err := b.UnpackFloat64s()
+		if err != nil {
+			return 0, fmt.Errorf("pvm: reduce from %d: %w", src, err)
+		}
+		if len(xs) != len(dst) {
+			return 0, fmt.Errorf("pvm: reduce from %d: length %d, want %d", src, len(xs), len(dst))
+		}
+		for i, v := range xs {
+			dst[i] += v
+		}
+	}
+	return len(srcs) * len(dst), nil
+}
+
+// Scatter sends to each destination its own buffer from bufs (parallel
+// slices), the inverse of Gather.
+func Scatter(t Task, dsts []int, tag int, bufs []*Buffer) {
+	if len(dsts) != len(bufs) {
+		panic(fmt.Sprintf("pvm: scatter %d destinations, %d buffers", len(dsts), len(bufs)))
+	}
+	for i, d := range dsts {
+		t.Send(d, tag, bufs[i])
+	}
+}
+
+// AllToRoot is the worker-side counterpart of Gather: send one buffer to
+// the root task.
+func AllToRoot(t Task, root, tag int, b *Buffer) { t.Send(root, tag, b) }

@@ -1,0 +1,134 @@
+package pvm
+
+import (
+	"fmt"
+	"testing"
+
+	"opalperf/internal/hpm"
+	"opalperf/internal/platform"
+)
+
+func TestGatherOrdersBySource(t *testing.T) {
+	s := NewSimVM(platform.J90(), nil)
+	s.SpawnRoot("root", func(root Task) {
+		tids := root.Spawn("w", 3, func(w Task) {
+			// Workers reply in reverse instance order by making earlier
+			// instances compute longer.
+			delay := float64(2 - w.Instance())
+			w.Charge("work", chargeOps(delay*80e6))
+			w.Send(w.Parent(), 1, NewBuffer().PackInt(w.Instance()))
+		})
+		bufs := Gather(root, tids, 1)
+		for i, b := range bufs {
+			if got := b.MustInt(); got != i {
+				panic(fmt.Sprintf("gather[%d] = %d", i, got))
+			}
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherRejectsUnexpectedSource(t *testing.T) {
+	s := NewSimVM(platform.J90(), nil)
+	s.SpawnRoot("root", func(root Task) {
+		root.Spawn("w", 1, func(w Task) {
+			w.Send(w.Parent(), 1, NewBuffer())
+		})
+		defer func() {
+			if recover() == nil {
+				panic("expected panic")
+			}
+		}()
+		// The gather expects a source that never sends; the worker's
+		// message is unexpected and must panic.
+		Gather(root, []int{root.TID()}, 1)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	l := NewLocalVM()
+	result := make(chan []float64, 1)
+	l.SpawnRoot("root", func(root Task) {
+		tids := root.Spawn("w", 3, func(w Task) {
+			v := make([]float64, 4)
+			for i := range v {
+				v[i] = float64(w.Instance() + i)
+			}
+			AllToRoot(w, w.Parent(), 2, NewBuffer().PackFloat64s(v))
+		})
+		dst := make([]float64, 4)
+		n, err := ReduceSum(root, tids, 2, dst)
+		if err != nil {
+			panic(err)
+		}
+		if n != 12 {
+			panic("wrong element count")
+		}
+		result <- dst
+	})
+	got := <-result
+	// Sum over instances 0..2 of (inst + i): per i: 3i + 3.
+	for i, v := range got {
+		if want := float64(3*i + 3); v != want {
+			t.Errorf("dst[%d] = %v, want %v", i, v, want)
+		}
+	}
+	l.Wait()
+}
+
+func TestReduceSumLengthMismatch(t *testing.T) {
+	l := NewLocalVM()
+	errCh := make(chan error, 1)
+	l.SpawnRoot("root", func(root Task) {
+		tids := root.Spawn("w", 1, func(w Task) {
+			w.Send(w.Parent(), 2, NewBuffer().PackFloat64s([]float64{1, 2}))
+		})
+		dst := make([]float64, 3)
+		_, err := ReduceSum(root, tids, 2, dst)
+		errCh <- err
+	})
+	if err := <-errCh; err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	l.Wait()
+}
+
+func TestScatter(t *testing.T) {
+	l := NewLocalVM()
+	done := make(chan bool, 1)
+	l.SpawnRoot("root", func(root Task) {
+		tids := root.Spawn("w", 3, func(w Task) {
+			b, _, _ := w.Recv(AnySrc, 3)
+			if b.MustInt() != w.Instance()*10 {
+				panic("wrong scatter payload")
+			}
+			w.Send(w.Parent(), 4, NewBuffer())
+		})
+		bufs := make([]*Buffer, len(tids))
+		for i := range bufs {
+			bufs[i] = NewBuffer().PackInt(i * 10)
+		}
+		Scatter(root, tids, 3, bufs)
+		Gather(root, tids, 4)
+		done <- true
+	})
+	<-done
+	l.Wait()
+}
+
+func TestScatterLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Scatter(nil, []int{1, 2}, 0, []*Buffer{NewBuffer()})
+}
+
+// chargeOps builds a pure-add op count for timing helpers in tests.
+func chargeOps(adds float64) hpm.Ops { return hpm.Ops{Add: adds} }

@@ -1,0 +1,45 @@
+package pvm
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBufferUnmarshal hardens the wire decoder against malformed frames:
+// it must never panic and must round-trip everything it accepts.
+func FuzzBufferUnmarshal(f *testing.F) {
+	seed := func(b *Buffer) {
+		wire, err := b.MarshalBinary()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(wire)
+	}
+	seed(NewBuffer())
+	seed(NewBuffer().PackFloat64s([]float64{1, 2, 3}))
+	seed(NewBuffer().PackInt(42).PackString("nbint").PackBytes([]byte{1, 2}))
+	seed(NewBuffer().PackInt64s([]int64{-1, 1 << 40}))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 255})
+	f.Add([]byte{0, 0, 0, 1, 0, 255, 255, 255, 255})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b Buffer
+		if err := b.UnmarshalBinary(data); err != nil {
+			return // rejected is fine; panicking is not
+		}
+		// Whatever decoded must re-encode and decode identically.
+		wire, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatalf("accepted buffer fails to marshal: %v", err)
+		}
+		var again Buffer
+		if err := again.UnmarshalBinary(wire); err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		w2, _ := again.MarshalBinary()
+		if !bytes.Equal(wire, w2) {
+			t.Fatal("round trip not stable")
+		}
+	})
+}

@@ -1,0 +1,138 @@
+package pvm
+
+import (
+	"fmt"
+
+	"opalperf/internal/hpm"
+	"opalperf/internal/platform"
+	"opalperf/internal/trace"
+	"opalperf/internal/vm"
+)
+
+// SimVM is a PVM session on the simulated fabric: every task is a process
+// of a discrete-event kernel configured with one platform's compute and
+// communication cost models.  Running a program yields the virtual
+// execution time that platform would have needed.
+type SimVM struct {
+	Kernel   *vm.Kernel
+	Platform *platform.Platform
+	Recorder *trace.Recorder
+	tasks    []*simTask
+}
+
+// NewSimVM creates a session for the given platform.  rec may be nil to
+// disable segment tracing (per-task totals remain available via vm stats).
+func NewSimVM(pl *platform.Platform, rec *trace.Recorder) *SimVM {
+	return NewSimVMComm(pl, pl.CommModel(), rec)
+}
+
+// NewSimVMComm creates a session with an explicit communication cost
+// model — e.g. a platform.TwoTierComm for clusters of SMP nodes — while
+// keeping the platform's compute model and counter weights.
+func NewSimVMComm(pl *platform.Platform, comm vm.CommModel, rec *trace.Recorder) *SimVM {
+	var tr vm.Tracer
+	if rec != nil {
+		tr = rec
+	}
+	return &SimVM{
+		Kernel:   vm.NewKernel(comm, tr),
+		Platform: pl,
+		Recorder: rec,
+	}
+}
+
+// SpawnRoot registers a root task before Run.
+func (s *SimVM) SpawnRoot(name string, fn func(Task)) int {
+	t := &simTask{vm: s, parent: -1, instance: 0}
+	t.proc = s.Kernel.NewProc(name, s.Platform.ComputeModel(), func(p *vm.Proc) {
+		fn(t)
+	})
+	t.mon = hpm.NewMonitor(s.Platform.Weights)
+	s.tasks = append(s.tasks, t)
+	return t.proc.ID()
+}
+
+// Run executes the session to completion.
+func (s *SimVM) Run() error { return s.Kernel.Run() }
+
+// Time returns the virtual makespan after Run.
+func (s *SimVM) Time() float64 { return s.Kernel.MaxTime() }
+
+// Task returns the task with the given TID, or nil.
+func (s *SimVM) Task(tid int) Task {
+	for _, t := range s.tasks {
+		if t.proc.ID() == tid {
+			return t
+		}
+	}
+	return nil
+}
+
+type simTask struct {
+	vm       *SimVM
+	proc     *vm.Proc
+	mon      *hpm.Monitor
+	parent   int
+	instance int
+}
+
+func (t *simTask) TID() int      { return t.proc.ID() }
+func (t *simTask) Parent() int   { return t.parent }
+func (t *simTask) Name() string  { return t.proc.Name() }
+func (t *simTask) Instance() int { return t.instance }
+func (t *simTask) Now() float64  { return t.proc.Now() }
+
+func (t *simTask) Monitor() *hpm.Monitor { return t.mon }
+
+func (t *simTask) Send(dst, tag int, b *Buffer) {
+	t.proc.Send(dst, tag, b, b.Bytes())
+}
+
+func (t *simTask) Mcast(dsts []int, tag int, b *Buffer) {
+	for _, d := range dsts {
+		t.proc.Send(d, tag, b, b.Bytes())
+	}
+}
+
+func (t *simTask) Recv(src, tag int) (*Buffer, int, int) {
+	m := t.proc.Recv(vm.MatchSrcTag(src, tag))
+	b, ok := m.Payload.(*Buffer)
+	if !ok {
+		panic(fmt.Sprintf("pvm: non-buffer payload %T", m.Payload))
+	}
+	return b.reader(), m.Src, m.Tag
+}
+
+func (t *simTask) Probe(src, tag int) bool {
+	return t.proc.Probe(vm.MatchSrcTag(src, tag))
+}
+
+func (t *simTask) Barrier(name string, parties int) {
+	t.proc.Barrier(name, parties)
+}
+
+func (t *simTask) Spawn(name string, n int, fn func(Task)) []int {
+	tids := make([]int, n)
+	for i := 0; i < n; i++ {
+		c := &simTask{vm: t.vm, parent: t.TID(), instance: i}
+		c.mon = hpm.NewMonitor(t.vm.Platform.Weights)
+		id := t.proc.Spawn(fmt.Sprintf("%s-%d", name, i), t.vm.Platform.ComputeModel(), func(p *vm.Proc) {
+			fn(c)
+		})
+		// The proc exists as soon as Spawn returns, before the child
+		// first runs, so the TID is immediately usable.
+		c.proc = t.vm.Kernel.Proc(id)
+		t.vm.tasks = append(t.vm.tasks, c)
+		tids[i] = id
+	}
+	return tids
+}
+
+func (t *simTask) Charge(counter string, ops hpm.Ops) {
+	counted := t.vm.Platform.Weights.Counted(ops)
+	t0 := t.proc.Now()
+	t.proc.Compute(counted)
+	t.mon.Charge(counter, ops, t.proc.Now()-t0)
+}
+
+func (t *simTask) SetWorkingSet(bytes int) { t.proc.SetWorkingSet(bytes) }

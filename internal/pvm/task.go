@@ -1,0 +1,52 @@
+package pvm
+
+import "opalperf/internal/hpm"
+
+// Task is one PVM task.  Both fabrics implement it; application code (the
+// Opal client and servers, the Sciddle runtime) is written against this
+// interface only and therefore runs unchanged on a simulated Cray J90 and
+// on real host goroutines.
+type Task interface {
+	// TID returns the task id.
+	TID() int
+	// Parent returns the TID of the spawning task, or -1 for a root task.
+	Parent() int
+	// Name returns the task name.
+	Name() string
+
+	// Send transmits the buffer to task dst with the given tag.
+	Send(dst, tag int, b *Buffer)
+	// Mcast transmits the buffer to every listed task.
+	Mcast(dsts []int, tag int, b *Buffer)
+	// Recv blocks for the next message matching (src, tag); wildcards
+	// AnySrc/AnyTag apply.  It returns the buffer and the actual source
+	// and tag.
+	Recv(src, tag int) (*Buffer, int, int)
+	// Probe reports whether a matching message is queued, without
+	// blocking or consuming it.
+	Probe(src, tag int) bool
+	// Barrier blocks until parties tasks have entered the barrier with
+	// the same name.
+	Barrier(name string, parties int)
+
+	// Spawn starts n child tasks running fn and returns their TIDs, like
+	// pvm_spawn starting n instances of an executable.  Each child gets
+	// its instance index via Instance().
+	Spawn(name string, n int, fn func(Task)) []int
+	// Instance returns this task's spawn instance index (0 for roots).
+	Instance() int
+
+	// Charge accounts floating-point work under the named HPM counter.
+	// On the simulated fabric it advances virtual time per the platform
+	// model; on the local fabric it attributes the real time since the
+	// previous boundary event.
+	Charge(counter string, ops hpm.Ops)
+	// SetWorkingSet declares the current working-set size in bytes for
+	// the memory-hierarchy model.
+	SetWorkingSet(bytes int)
+	// Now returns the task's current time in seconds (virtual on the
+	// simulated fabric, real since session start on the local fabric).
+	Now() float64
+	// Monitor returns the task's hardware performance monitor.
+	Monitor() *hpm.Monitor
+}

@@ -1,0 +1,644 @@
+package pvm
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"opalperf/internal/hpm"
+)
+
+// The network fabric: a PVM-style daemon routes messages between task
+// sessions connected over TCP, the way the pvmd routed messages between
+// the hosts of a cluster (the "network PVM" the paper's J90s used over
+// HIPPI, and the CoPs over Ethernet or Myrinet).
+//
+// Each session owns a dense range of task ids (sessionID*sessionStride +
+// k), so the daemon routes on dst/sessionStride without round trips.
+// Barriers are counted centrally; spawns-by-name are forwarded to a
+// session that registered a handler for the name, mirroring pvm_spawn's
+// executable names.
+
+const sessionStride = 1 << 16
+
+// Daemon is the message router.
+type Daemon struct {
+	ln net.Listener
+
+	mu       sync.Mutex
+	sessions map[int]*daemonConn
+	nextID   int
+	hosts    map[string][]int // spawn name -> session ids
+	rrSpawn  map[string]int   // round-robin cursor per name
+	barriers map[string]*daemonBarrier
+	closed   bool
+}
+
+type daemonConn struct {
+	id   int
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+type daemonBarrier struct {
+	parties int
+	entered int
+	members map[int]int // session id -> number of local entries
+}
+
+// NewDaemon starts a daemon on addr ("127.0.0.1:0" for an ephemeral
+// port).  Use Addr to discover the bound address.
+func NewDaemon(addr string) (*Daemon, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		ln:       ln,
+		sessions: make(map[int]*daemonConn),
+		hosts:    make(map[string][]int),
+		rrSpawn:  make(map[string]int),
+		barriers: make(map[string]*daemonBarrier),
+	}
+	go d.acceptLoop()
+	return d, nil
+}
+
+// Addr returns the daemon's listen address.
+func (d *Daemon) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the daemon down and disconnects every session.
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	d.closed = true
+	conns := make([]*daemonConn, 0, len(d.sessions))
+	for _, c := range d.sessions {
+		conns = append(conns, c)
+	}
+	d.mu.Unlock()
+	d.ln.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+}
+
+func (d *Daemon) acceptLoop() {
+	for {
+		conn, err := d.ln.Accept()
+		if err != nil {
+			return
+		}
+		go d.serve(conn)
+	}
+}
+
+func (d *Daemon) send(c *daemonConn, typ byte, body []byte) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_ = writeFrame(c.conn, typ, body)
+}
+
+func (d *Daemon) sessionFor(tid int) *daemonConn {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.sessions[tid/sessionStride]
+}
+
+func (d *Daemon) serve(conn net.Conn) {
+	// Handshake.
+	typ, _, err := readFrame(conn)
+	if err != nil || typ != frameHello {
+		conn.Close()
+		return
+	}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		conn.Close()
+		return
+	}
+	d.nextID++
+	c := &daemonConn{id: d.nextID, conn: conn}
+	d.sessions[c.id] = c
+	d.mu.Unlock()
+	d.send(c, frameWelcome, appendU32(nil, uint32(c.id)))
+
+	defer func() {
+		d.mu.Lock()
+		delete(d.sessions, c.id)
+		d.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		typ, body, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case frameMsg:
+			// [dst u32, rest...] — route on dst.
+			dst, _, err := readU32(body)
+			if err != nil {
+				return
+			}
+			if target := d.sessionFor(int(dst)); target != nil {
+				d.send(target, frameMsg, body)
+			}
+		case frameBarrier:
+			d.handleBarrier(body)
+		case frameRegHost:
+			name, _, err := readStr(body)
+			if err != nil {
+				return
+			}
+			d.mu.Lock()
+			d.hosts[name] = append(d.hosts[name], c.id)
+			d.mu.Unlock()
+			d.send(c, frameRegAck, nil)
+		case frameSpawnReq:
+			d.handleSpawnReq(c, body)
+		case frameSpawnRep:
+			// [requester u32, ...] — route back.
+			req, _, err := readU32(body)
+			if err != nil {
+				return
+			}
+			if target := d.sessionFor(int(req)); target != nil {
+				d.send(target, frameSpawnRep, body)
+			}
+		case frameBye:
+			return
+		}
+	}
+}
+
+func (d *Daemon) handleBarrier(body []byte) {
+	name, rest, err := readStr(body)
+	if err != nil {
+		return
+	}
+	parties, rest, err := readU32(rest)
+	if err != nil {
+		return
+	}
+	sid, _, err := readU32(rest)
+	if err != nil {
+		return
+	}
+	var release map[int]int
+	d.mu.Lock()
+	b := d.barriers[name]
+	if b == nil {
+		b = &daemonBarrier{parties: int(parties), members: make(map[int]int)}
+		d.barriers[name] = b
+	}
+	b.entered++
+	b.members[int(sid)]++
+	if b.entered == b.parties {
+		release = b.members
+		delete(d.barriers, name)
+	}
+	d.mu.Unlock()
+	if release != nil {
+		for sess, count := range release {
+			d.mu.Lock()
+			c := d.sessions[sess]
+			d.mu.Unlock()
+			if c != nil {
+				body := appendStr(nil, name)
+				body = appendU32(body, uint32(count))
+				d.send(c, frameRelease, body)
+			}
+		}
+	}
+}
+
+func (d *Daemon) handleSpawnReq(from *daemonConn, body []byte) {
+	// [requester tid u32, n u32, name]
+	reqTid, rest, err := readU32(body)
+	if err != nil {
+		return
+	}
+	n, rest, err := readU32(rest)
+	if err != nil {
+		return
+	}
+	name, _, err := readStr(rest)
+	if err != nil {
+		return
+	}
+	d.mu.Lock()
+	hosts := d.hosts[name]
+	var host *daemonConn
+	if len(hosts) > 0 {
+		host = d.sessions[hosts[d.rrSpawn[name]%len(hosts)]]
+		d.rrSpawn[name]++
+	}
+	d.mu.Unlock()
+	if host == nil {
+		// Nobody registered: tell the requester to spawn locally.
+		rep := appendU32(nil, reqTid)
+		rep = appendU32(rep, 0)
+		d.send(from, frameSpawnRep, rep)
+		return
+	}
+	fwd := appendU32(nil, reqTid)
+	fwd = appendU32(fwd, n)
+	fwd = appendStr(fwd, name)
+	d.send(host, frameSpawnFwd, fwd)
+}
+
+// TCPVM is one session of the network fabric: it hosts local tasks (real
+// goroutines) whose messages to non-local task ids travel through the
+// daemon.
+type TCPVM struct {
+	conn net.Conn
+	id   int
+	wmu  sync.Mutex
+
+	mu       sync.Mutex
+	tasks    map[int]*tcpTask
+	nextTask int
+	spawnFns map[string]func(Task)
+	barriers map[string]*tcpBarrier
+	spawnRep map[int]chan []int
+	regAck   chan struct{}
+	start    time.Time
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+type tcpBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int // releases received but not yet consumed
+}
+
+// ConnectTCP joins the daemon at addr and returns a session.
+func ConnectTCP(addr string) (*TCPVM, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, frameHello, nil); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	typ, body, err := readFrame(conn)
+	if err != nil || typ != frameWelcome {
+		conn.Close()
+		return nil, fmt.Errorf("pvm: bad welcome from daemon")
+	}
+	id, _, err := readU32(body)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	v := &TCPVM{
+		conn:     conn,
+		id:       int(id),
+		tasks:    make(map[int]*tcpTask),
+		spawnFns: make(map[string]func(Task)),
+		barriers: make(map[string]*tcpBarrier),
+		spawnRep: make(map[int]chan []int),
+		regAck:   make(chan struct{}, 16),
+		start:    time.Now(),
+	}
+	go v.readLoop()
+	return v, nil
+}
+
+// Close leaves the daemon.  Local tasks should have finished.
+func (v *TCPVM) Close() {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return
+	}
+	v.closed = true
+	v.mu.Unlock()
+	v.write(frameBye, nil)
+	v.conn.Close()
+}
+
+// Wait blocks until all local tasks finish.
+func (v *TCPVM) Wait() { v.wg.Wait() }
+
+// RegisterSpawn announces that this session can host spawns of the given
+// name (the pvm_spawn executable registry).  It returns once the daemon
+// has processed the registration, so subsequent spawns from any session
+// will find the host.
+func (v *TCPVM) RegisterSpawn(name string, fn func(Task)) {
+	v.mu.Lock()
+	v.spawnFns[name] = fn
+	v.mu.Unlock()
+	v.write(frameRegHost, appendStr(nil, name))
+	<-v.regAck
+}
+
+func (v *TCPVM) write(typ byte, body []byte) {
+	v.wmu.Lock()
+	defer v.wmu.Unlock()
+	_ = writeFrame(v.conn, typ, body)
+}
+
+// SpawnRoot starts a local task.
+func (v *TCPVM) SpawnRoot(name string, fn func(Task)) int {
+	t := v.newTask(name, -1, 0)
+	v.wg.Add(1)
+	go func() {
+		defer v.wg.Done()
+		fn(t)
+	}()
+	return t.tid
+}
+
+func (v *TCPVM) newTask(name string, parent, instance int) *tcpTask {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	tid := v.id*sessionStride + v.nextTask
+	v.nextTask++
+	t := &tcpTask{
+		vm: v, tid: tid, name: name, parent: parent, instance: instance,
+		mon: hpm.NewMonitor(hpm.CanonicalWeights()), lastMark: time.Now(),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	v.tasks[tid] = t
+	return t
+}
+
+func (v *TCPVM) readLoop() {
+	for {
+		typ, body, err := readFrame(v.conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case frameMsg:
+			v.deliver(body)
+		case frameRelease:
+			name, rest, err := readStr(body)
+			if err != nil {
+				return
+			}
+			count, _, err := readU32(rest)
+			if err != nil {
+				return
+			}
+			b := v.barrier(name)
+			b.mu.Lock()
+			b.pending += int(count)
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		case frameRegAck:
+			v.regAck <- struct{}{}
+		case frameSpawnFwd:
+			go v.handleSpawnFwd(body)
+		case frameSpawnRep:
+			reqTid, rest, err := readU32(body)
+			if err != nil {
+				return
+			}
+			n, rest, err := readU32(rest)
+			if err != nil {
+				return
+			}
+			tids := make([]int, 0, n)
+			for i := uint32(0); i < n; i++ {
+				var tid uint32
+				tid, rest, err = readU32(rest)
+				if err != nil {
+					return
+				}
+				tids = append(tids, int(tid))
+			}
+			v.mu.Lock()
+			ch := v.spawnRep[int(reqTid)]
+			v.mu.Unlock()
+			if ch != nil {
+				ch <- tids
+			}
+		}
+	}
+}
+
+// deliver parses a routed message [dst, src, tag, payload] into the local
+// task's mailbox.
+func (v *TCPVM) deliver(body []byte) {
+	dst, rest, err := readU32(body)
+	if err != nil {
+		return
+	}
+	src, rest, err := readU32(rest)
+	if err != nil {
+		return
+	}
+	tag, rest, err := readU32(rest)
+	if err != nil {
+		return
+	}
+	var buf Buffer
+	if err := buf.UnmarshalBinary(rest); err != nil {
+		return
+	}
+	v.mu.Lock()
+	t := v.tasks[int(dst)]
+	v.mu.Unlock()
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.mailbox = append(t.mailbox, localMsg{src: int(src), tag: int(tag), buf: &buf})
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+func (v *TCPVM) handleSpawnFwd(body []byte) {
+	reqTid, rest, err := readU32(body)
+	if err != nil {
+		return
+	}
+	n, rest, err := readU32(rest)
+	if err != nil {
+		return
+	}
+	name, _, err := readStr(rest)
+	if err != nil {
+		return
+	}
+	v.mu.Lock()
+	fn := v.spawnFns[name]
+	v.mu.Unlock()
+	tids := make([]int, 0, n)
+	if fn != nil {
+		for i := 0; i < int(n); i++ {
+			t := v.newTask(fmt.Sprintf("%s-%d", name, i), int(reqTid), i)
+			tids = append(tids, t.tid)
+			v.wg.Add(1)
+			go func() {
+				defer v.wg.Done()
+				fn(t)
+			}()
+		}
+	}
+	rep := appendU32(nil, reqTid)
+	rep = appendU32(rep, uint32(len(tids)))
+	for _, tid := range tids {
+		rep = appendU32(rep, uint32(tid))
+	}
+	v.write(frameSpawnRep, rep)
+}
+
+func (v *TCPVM) barrier(name string) *tcpBarrier {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	b := v.barriers[name]
+	if b == nil {
+		b = &tcpBarrier{}
+		b.cond = sync.NewCond(&b.mu)
+		v.barriers[name] = b
+	}
+	return b
+}
+
+// tcpTask is one local task of a network session.
+type tcpTask struct {
+	vm       *TCPVM
+	tid      int
+	name     string
+	parent   int
+	instance int
+	mon      *hpm.Monitor
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	mailbox []localMsg
+
+	lastMark time.Time
+}
+
+func (t *tcpTask) TID() int              { return t.tid }
+func (t *tcpTask) Parent() int           { return t.parent }
+func (t *tcpTask) Name() string          { return t.name }
+func (t *tcpTask) Instance() int         { return t.instance }
+func (t *tcpTask) Monitor() *hpm.Monitor { return t.mon }
+func (t *tcpTask) Now() float64          { return time.Since(t.vm.start).Seconds() }
+func (t *tcpTask) SetWorkingSet(int)     {}
+
+func (t *tcpTask) Send(dst, tag int, b *Buffer) {
+	if b == nil {
+		b = NewBuffer()
+	}
+	// Local fast path.
+	t.vm.mu.Lock()
+	local := t.vm.tasks[dst]
+	t.vm.mu.Unlock()
+	if local != nil {
+		local.mu.Lock()
+		local.mailbox = append(local.mailbox, localMsg{src: t.tid, tag: tag, buf: b})
+		local.cond.Broadcast()
+		local.mu.Unlock()
+		return
+	}
+	wire, err := b.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	body := appendU32(nil, uint32(dst))
+	body = appendU32(body, uint32(t.tid))
+	body = appendU32(body, uint32(tag))
+	body = append(body, wire...)
+	t.vm.write(frameMsg, body)
+}
+
+func (t *tcpTask) Mcast(dsts []int, tag int, b *Buffer) {
+	for _, d := range dsts {
+		t.Send(d, tag, b)
+	}
+}
+
+func (t *tcpTask) Recv(src, tag int) (*Buffer, int, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		for i, m := range t.mailbox {
+			if matches(m, src, tag) {
+				t.mailbox = append(t.mailbox[:i], t.mailbox[i+1:]...)
+				t.lastMark = time.Now()
+				return m.buf.reader(), m.src, m.tag
+			}
+		}
+		t.cond.Wait()
+	}
+}
+
+func (t *tcpTask) Probe(src, tag int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, m := range t.mailbox {
+		if matches(m, src, tag) {
+			return true
+		}
+	}
+	return false
+}
+
+func (t *tcpTask) Barrier(name string, parties int) {
+	body := appendStr(nil, name)
+	body = appendU32(body, uint32(parties))
+	body = appendU32(body, uint32(t.vm.id))
+	t.vm.write(frameBarrier, body)
+	b := t.vm.barrier(name)
+	b.mu.Lock()
+	for b.pending == 0 {
+		b.cond.Wait()
+	}
+	b.pending--
+	b.mu.Unlock()
+}
+
+// Spawn asks the daemon for a host registered under name; if none exists
+// the tasks run locally with fn.  Note that a remote host runs its own
+// *registered* function for the name — like pvm_spawn starting a named
+// executable — so fn is only the local fallback.
+func (t *tcpTask) Spawn(name string, n int, fn func(Task)) []int {
+	ch := make(chan []int, 1)
+	t.vm.mu.Lock()
+	t.vm.spawnRep[t.tid] = ch
+	t.vm.mu.Unlock()
+	defer func() {
+		t.vm.mu.Lock()
+		delete(t.vm.spawnRep, t.tid)
+		t.vm.mu.Unlock()
+	}()
+	body := appendU32(nil, uint32(t.tid))
+	body = appendU32(body, uint32(n))
+	body = appendStr(body, name)
+	t.vm.write(frameSpawnReq, body)
+	tids := <-ch
+	if len(tids) > 0 {
+		return tids
+	}
+	// Local fallback.
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		child := t.vm.newTask(fmt.Sprintf("%s-%d", name, i), t.tid, i)
+		out[i] = child.tid
+		t.vm.wg.Add(1)
+		go func() {
+			defer t.vm.wg.Done()
+			fn(child)
+		}()
+	}
+	return out
+}
+
+func (t *tcpTask) Charge(counter string, ops hpm.Ops) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	dt := now.Sub(t.lastMark).Seconds()
+	t.lastMark = now
+	t.mon.Charge(counter, ops, dt)
+}

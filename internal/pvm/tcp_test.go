@@ -1,0 +1,362 @@
+package pvm
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"opalperf/internal/hpm"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	b := NewBuffer().
+		PackFloat64s([]float64{1.5, -2.25, 1e300}).
+		PackInt(-42).
+		PackInt64s([]int64{1, -2, 3}).
+		PackString("nbint").
+		PackBytes([]byte{0, 255, 7}).
+		PackFloat64(3.14)
+	wire, err := b.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Buffer
+	if err := got.UnmarshalBinary(wire); err != nil {
+		t.Fatal(err)
+	}
+	r := got.Reader()
+	xs := r.MustFloat64s()
+	if xs[0] != 1.5 || xs[1] != -2.25 || xs[2] != 1e300 {
+		t.Errorf("floats = %v", xs)
+	}
+	if r.MustInt() != -42 {
+		t.Error("int wrong")
+	}
+	is, _ := r.UnpackInt64s()
+	if is[1] != -2 {
+		t.Errorf("int64s = %v", is)
+	}
+	if r.MustString() != "nbint" {
+		t.Error("string wrong")
+	}
+	raw, _ := r.UnpackBytes()
+	if raw[1] != 255 {
+		t.Errorf("bytes = %v", raw)
+	}
+	if r.MustFloat64() != 3.14 {
+		t.Error("scalar wrong")
+	}
+}
+
+func TestWireRejectsGarbage(t *testing.T) {
+	var b Buffer
+	cases := [][]byte{
+		nil,
+		{0, 0},
+		{0, 0, 0, 1},                 // one item, no header
+		{0, 0, 0, 1, 0, 0, 0, 0, 9},  // truncated float payload
+		{0, 0, 0, 1, 99, 0, 0, 0, 0}, // unknown kind
+	}
+	for i, c := range cases {
+		if err := b.UnmarshalBinary(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Trailing junk.
+	good, _ := NewBuffer().PackInt(1).MarshalBinary()
+	if err := b.UnmarshalBinary(append(good, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// Property: wire round trip preserves arbitrary float payloads.
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(xs []float64, s string) bool {
+		b := NewBuffer().PackFloat64s(xs).PackString(s)
+		wire, err := b.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var got Buffer
+		if err := got.UnmarshalBinary(wire); err != nil {
+			return false
+		}
+		ys := got.Reader().MustFloat64s()
+		if len(ys) != len(xs) {
+			return false
+		}
+		for i := range xs {
+			// NaN-safe: compare bit patterns via equality of both NaN.
+			if ys[i] != xs[i] && !(ys[i] != ys[i] && xs[i] != xs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tcpPair starts a daemon and two sessions, tearing everything down at
+// test end.
+func tcpPair(t *testing.T) (*Daemon, *TCPVM, *TCPVM) {
+	t.Helper()
+	d, err := NewDaemon("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ConnectTCP(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ConnectTCP(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+		d.Close()
+	})
+	return d, a, b
+}
+
+func TestTCPEchoAcrossSessions(t *testing.T) {
+	_, a, b := tcpPair(t)
+	ready := make(chan int, 1)
+	b.SpawnRoot("echo", func(task Task) {
+		ready <- task.TID()
+		buf, src, tag := task.Recv(AnySrc, 7)
+		x := buf.MustFloat64()
+		task.Send(src, tag+1, NewBuffer().PackFloat64(x*2))
+	})
+	echoTID := <-ready
+	got := make(chan float64, 1)
+	a.SpawnRoot("client", func(task Task) {
+		task.Send(echoTID, 7, NewBuffer().PackFloat64(21))
+		rep, _, _ := task.Recv(echoTID, 8)
+		got <- rep.MustFloat64()
+	})
+	if v := <-got; v != 42 {
+		t.Fatalf("echo reply = %v", v)
+	}
+	a.Wait()
+	b.Wait()
+}
+
+func TestTCPBarrierAcrossSessions(t *testing.T) {
+	_, a, b := tcpPair(t)
+	var mu sync.Mutex
+	order := []string{}
+	record := func(s string) {
+		mu.Lock()
+		order = append(order, s)
+		mu.Unlock()
+	}
+	a.SpawnRoot("a", func(task Task) {
+		record("a-before")
+		task.Barrier("sync", 2)
+		record("a-after")
+	})
+	b.SpawnRoot("b", func(task Task) {
+		record("b-before")
+		task.Barrier("sync", 2)
+		record("b-after")
+	})
+	a.Wait()
+	b.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	// Both befores precede both afters.
+	seenAfter := false
+	for _, s := range order {
+		if s == "a-after" || s == "b-after" {
+			seenAfter = true
+		} else if seenAfter {
+			t.Fatalf("barrier did not hold: %v", order)
+		}
+	}
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTCPRemoteSpawn(t *testing.T) {
+	_, a, b := tcpPair(t)
+	// Session b registers as the host for "worker".
+	b.RegisterSpawn("worker", func(task Task) {
+		buf, src, _ := task.Recv(AnySrc, 1)
+		x := buf.MustFloat64()
+		task.Send(src, 2, NewBuffer().PackFloat64(x+float64(task.Instance())))
+	})
+	sum := make(chan float64, 1)
+	a.SpawnRoot("client", func(task Task) {
+		tids := task.Spawn("worker", 3, func(Task) {
+			panic("local fallback must not run when a remote host exists")
+		})
+		if len(tids) != 3 {
+			panic("wrong spawn count")
+		}
+		for _, tid := range tids {
+			task.Send(tid, 1, NewBuffer().PackFloat64(10))
+		}
+		var s float64
+		for range tids {
+			rep, _, _ := task.Recv(AnySrc, 2)
+			s += rep.MustFloat64()
+		}
+		sum <- s
+	})
+	if v := <-sum; v != 33 { // 10+0 + 10+1 + 10+2
+		t.Fatalf("sum = %v", v)
+	}
+	a.Wait()
+	b.Wait()
+}
+
+func TestTCPLocalFallbackSpawn(t *testing.T) {
+	_, a, _ := tcpPair(t)
+	done := make(chan int, 1)
+	a.SpawnRoot("client", func(task Task) {
+		tids := task.Spawn("unregistered", 2, func(w Task) {
+			w.Send(w.Parent(), 1, NewBuffer().PackInt(w.Instance()))
+		})
+		got := 0
+		for range tids {
+			rep, _, _ := task.Recv(AnySrc, 1)
+			got += rep.MustInt() + 1
+		}
+		done <- got
+	})
+	if v := <-done; v != 3 { // (0+1)+(1+1)
+		t.Fatalf("got = %v", v)
+	}
+}
+
+func TestTCPLocalFastPath(t *testing.T) {
+	// Messages between tasks of the same session do not cross the wire.
+	_, a, _ := tcpPair(t)
+	done := make(chan bool, 1)
+	a.SpawnRoot("r1", func(task Task) {
+		tids := task.Spawn("r2", 1, func(w Task) {
+			buf, src, _ := w.Recv(AnySrc, 5)
+			w.Send(src, 6, buf.Reader())
+		})
+		big := make([]float64, 10000)
+		big[9999] = 7
+		task.Send(tids[0], 5, NewBuffer().PackFloat64s(big))
+		rep, _, _ := task.Recv(tids[0], 6)
+		xs := rep.MustFloat64s()
+		done <- xs[9999] == 7
+	})
+	if !<-done {
+		t.Fatal("local fast path corrupted payload")
+	}
+}
+
+func TestTCPChargeAndMonitor(t *testing.T) {
+	_, a, _ := tcpPair(t)
+	done := make(chan float64, 1)
+	a.SpawnRoot("worker", func(task Task) {
+		task.Charge("k", hpm.Ops{Add: 1000})
+		done <- task.Monitor().Counter("k").Canonical
+	})
+	if v := <-done; v != 1000 {
+		t.Fatalf("canonical = %v", v)
+	}
+}
+
+// TestTCPParallelOpalStyle runs a miniature client-server round across
+// two OS-level sessions: init data out, partial results back — the
+// network-PVM path Opal would take on a real cluster.
+func TestTCPParallelOpalStyle(t *testing.T) {
+	_, a, b := tcpPair(t)
+	b.RegisterSpawn("nb-server", func(task Task) {
+		init, _, _ := task.Recv(AnySrc, 10)
+		charges := init.MustFloat64s()
+		for {
+			msg, src, tag := task.Recv(AnySrc, AnyTag)
+			if tag == 99 {
+				return
+			}
+			coords := msg.MustFloat64s()
+			// Toy partial energy: sum of q_i * x_i over this server's
+			// stripe.
+			var e float64
+			for i := task.Instance(); i < len(charges); i += 2 {
+				e += charges[i] * coords[3*i]
+			}
+			task.Send(src, 12, NewBuffer().PackFloat64(e))
+		}
+	})
+	result := make(chan float64, 1)
+	a.SpawnRoot("client", func(task Task) {
+		tids := task.Spawn("nb-server", 2, nil)
+		charges := []float64{1, 2, 3, 4}
+		coords := []float64{1, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0}
+		task.Mcast(tids, 10, NewBuffer().PackFloat64s(charges))
+		for step := 0; step < 3; step++ {
+			task.Mcast(tids, 11, NewBuffer().PackFloat64s(coords))
+			var e float64
+			for range tids {
+				rep, _, _ := task.Recv(AnySrc, 12)
+				e += rep.MustFloat64()
+			}
+			if step == 2 {
+				result <- e
+			}
+		}
+		task.Mcast(tids, 99, NewBuffer())
+	})
+	if v := <-result; v != 10 { // 1+2+3+4
+		t.Fatalf("energy = %v, want 10", v)
+	}
+	a.Wait()
+	b.Wait()
+}
+
+func TestConnectTCPFailsOnDeadAddress(t *testing.T) {
+	if _, err := ConnectTCP("127.0.0.1:1"); err == nil {
+		t.Fatal("connecting to a dead port should fail")
+	}
+}
+
+func TestDaemonCloseIsIdempotentAndRejectsLate(t *testing.T) {
+	d, err := NewDaemon("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := d.Addr()
+	d.Close()
+	d.Close() // idempotent
+	if _, err := ConnectTCP(addr); err == nil {
+		t.Fatal("connecting to a closed daemon should fail")
+	}
+}
+
+func TestTCPSessionCloseIdempotent(t *testing.T) {
+	d, _ := NewDaemon("127.0.0.1:0")
+	defer d.Close()
+	v, err := ConnectTCP(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Close()
+	v.Close() // must not panic or double-send Bye
+}
+
+func TestTCPMessageToUnknownTIDIsDropped(t *testing.T) {
+	_, a, _ := tcpPair(t)
+	done := make(chan bool, 1)
+	a.SpawnRoot("r", func(task Task) {
+		// A send to a TID in a session range nobody owns is silently
+		// dropped by the daemon (like a message to a dead PVM task); the
+		// sender must not wedge.
+		task.Send(99*sessionStride+1, 1, NewBuffer().PackInt(1))
+		done <- true
+	})
+	if !<-done {
+		t.Fatal("sender blocked")
+	}
+}

@@ -1,0 +1,29 @@
+package idl
+
+import "testing"
+
+// FuzzParse hardens the IDL parser: arbitrary input must either parse or
+// return an error — never panic — and whatever parses must generate
+// formattable Go code.
+func FuzzParse(f *testing.F) {
+	f.Add("service A {\n m(x float64) (y int)\n}")
+	f.Add(sample)
+	f.Add("service A {")
+	f.Add("}")
+	f.Add("service A {\n m(x []float64, y string) ()\n}\nservice B {\n n() ()\n}")
+	f.Add("// nothing")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		out, err := Generate(file, "fuzzed")
+		if err != nil {
+			t.Fatalf("parsed IDL failed to generate: %v\nsource: %q", err, src)
+		}
+		if len(out) == 0 {
+			t.Fatal("empty generated code")
+		}
+	})
+}

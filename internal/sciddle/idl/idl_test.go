@@ -1,0 +1,179 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+// The Opal remote interface.
+service Opal {
+    update(coords []float64) ()
+    nbint(coords []float64) (evdw float64, ecoul float64, grad []float64, npairs int)
+    hello() ()
+    info(name string, raw []byte, ids []int64) (greeting string)
+}
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Services) != 1 {
+		t.Fatalf("services = %d", len(f.Services))
+	}
+	s := f.Services[0]
+	if s.Name != "Opal" || len(s.Methods) != 4 {
+		t.Fatalf("service = %+v", s)
+	}
+	nb := s.Methods[1]
+	if nb.Name != "nbint" || len(nb.Args) != 1 || len(nb.Rets) != 4 {
+		t.Fatalf("nbint = %+v", nb)
+	}
+	if nb.Rets[3].Name != "npairs" || nb.Rets[3].Type != "int" {
+		t.Errorf("ret[3] = %+v", nb.Rets[3])
+	}
+	if len(s.Methods[2].Args) != 0 || len(s.Methods[2].Rets) != 0 {
+		t.Errorf("hello should be void/void")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"", "no service"},
+		{"service A {", "unterminated"},
+		{"}", "unmatched"},
+		{"foo() ()", "outside service"},
+		{"service A {\nservice B {\n}\n}", "nested"},
+		{"service 2bad {\n}", "invalid service name"},
+		{"service A {\n m(x badtype) ()\n}", "unsupported type"},
+		{"service A {\n m(x) ()\n}", "expected 'name type'"},
+		{"service A {\n m(x float64, x int) ()\n}", "duplicate parameter"},
+		{"service A {\n m() ()\n m() ()\n}", "duplicate method"},
+		{"service A {\n 3m() ()\n}", "invalid method name"},
+		{"service A {\n m() () extra\n}", "trailing junk"},
+		{"service A {\n m\n}", "expected '('"},
+		{"service A {\n m(x float64\n}", "missing ')'"},
+		{"service A\n}", "expected '{'"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q", c.src, c.frag)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("Parse(%q): error %q does not mention %q", c.src, err, c.frag)
+		}
+	}
+}
+
+func TestParseErrorHasLine(t *testing.T) {
+	_, err := Parse("service A {\n\n m(x badtype) ()\n}")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("line = %d, want 3", pe.Line)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	src := "// header\nservice A { // trailing comment\n// full line\n\n m() ()\n}\n"
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Services[0].Methods) != 1 {
+		t.Fatalf("methods = %+v", f.Services[0].Methods)
+	}
+}
+
+func TestGenerateCompilesShapes(t *testing.T) {
+	f, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(f, "opalrpc")
+	if err != nil {
+		t.Fatalf("generate: %v\n%s", err, out)
+	}
+	src := string(out)
+	for _, want := range []string{
+		"package opalrpc",
+		"type OpalHandler interface",
+		"Nbint(t pvm.Task, coords []float64) (evdw float64, ecoul float64, grad []float64, npairs int)",
+		"func RegisterOpal(svc *sciddle.Service, h OpalHandler)",
+		"type OpalClient struct",
+		"type OpalNbintReply struct",
+		"func (c *OpalClient) NbintPhase(argFn func(i int) *pvm.Buffer) []OpalNbintReply",
+		"func PackOpalNbintArgs(coords []float64) *pvm.Buffer",
+		"func (c *OpalClient) Hello(i int)",
+		"Info(t pvm.Task, name string, raw []byte, ids []int64) (greeting string)",
+		"DO NOT EDIT",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	f, _ := Parse(sample)
+	a, err := Generate(f, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(f, "p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestExport(t *testing.T) {
+	if export("nbint") != "Nbint" || export("") != "" || export("X") != "X" {
+		t.Error("export casing wrong")
+	}
+}
+
+func TestIsIdent(t *testing.T) {
+	good := []string{"a", "A1", "_x", "updAte"}
+	bad := []string{"", "1a", "a-b", "a b"}
+	for _, s := range good {
+		if !isIdent(s) {
+			t.Errorf("isIdent(%q) = false", s)
+		}
+	}
+	for _, s := range bad {
+		if isIdent(s) {
+			t.Errorf("isIdent(%q) = true", s)
+		}
+	}
+}
+
+func TestMultipleServices(t *testing.T) {
+	src := "service A {\n m() ()\n}\nservice B {\n n() (x int)\n}\n"
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Services) != 2 {
+		t.Fatalf("services = %d", len(f.Services))
+	}
+	out, err := Generate(f, "two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "type AHandler interface") ||
+		!strings.Contains(string(out), "type BHandler interface") {
+		t.Error("both services should be generated")
+	}
+}

@@ -1,0 +1,78 @@
+package sciddle
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"opalperf/internal/platform"
+	"opalperf/internal/pvm"
+	"opalperf/internal/trace"
+	"opalperf/internal/vm"
+)
+
+func TestMetricsOf(t *testing.T) {
+	rec := trace.NewRecorder()
+	// Window [0, 10]: client computes 1.5, comm 1, sync 0.5; two servers
+	// compute 6 and 8 (mean 7) — components fill the wall exactly.
+	rec.Segment(0, "client", vm.SegCompute, 0, 1.5)
+	rec.Segment(0, "client", vm.SegComm, 1.5, 2.5)
+	rec.Segment(0, "client", vm.SegSync, 2.5, 3)
+	rec.Segment(1, "s0", vm.SegCompute, 0, 6)
+	rec.Segment(2, "s1", vm.SegCompute, 0, 8)
+	m := MetricsOf(rec, 0, []int{1, 2}, 0, 10)
+	if m.Wall != 10 {
+		t.Errorf("wall = %v", m.Wall)
+	}
+	if math.Abs(m.ClientComputeShare-0.15) > 1e-12 {
+		t.Errorf("client share = %v", m.ClientComputeShare)
+	}
+	if math.Abs(m.ServerComputeShare-0.7) > 1e-12 {
+		t.Errorf("server share = %v", m.ServerComputeShare)
+	}
+	if math.Abs(m.LoadImbalance-1.0/7.0) > 1e-12 {
+		t.Errorf("imbalance = %v", m.LoadImbalance)
+	}
+	if math.Abs(m.CommShare-0.1) > 1e-12 {
+		t.Errorf("comm share = %v", m.CommShare)
+	}
+	if math.Abs(m.SyncShare-0.05) > 1e-12 {
+		t.Errorf("sync share = %v", m.SyncShare)
+	}
+	// Shares account for the full wall clock.
+	total := m.ClientComputeShare + m.ServerComputeShare + m.CommShare + m.SyncShare + m.IdleShare
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("shares sum to %v", total)
+	}
+	s := m.String()
+	if !strings.Contains(s, "load imbalance") {
+		t.Errorf("report = %q", s)
+	}
+}
+
+func TestMetricsDegenerateWindow(t *testing.T) {
+	rec := trace.NewRecorder()
+	m := MetricsOf(rec, 0, nil, 5, 5)
+	if m.Wall != 0 || m.ClientComputeShare != 0 {
+		t.Errorf("metrics = %+v", m)
+	}
+}
+
+func TestMetricsFromRealRun(t *testing.T) {
+	// End-to-end: an accounting-mode RPC run yields sensible metrics.
+	sim, rec := runClient(t, platform.FastCoPs, 3, true, func(c *Conn) {
+		c.CallPhase("work", func(i int) *pvm.Buffer {
+			return pvm.NewBuffer().PackFloat64(67e6)
+		})
+	})
+	m := MetricsOf(rec, 0, []int{1, 2, 3}, 0, sim.Time())
+	if m.ServerComputeShare <= 0.5 {
+		t.Errorf("server compute share = %v, want dominant", m.ServerComputeShare)
+	}
+	if m.SyncShare <= 0 {
+		t.Error("no sync share recorded")
+	}
+	if m.LoadImbalance > 0.05 {
+		t.Errorf("imbalance = %v for balanced servers", m.LoadImbalance)
+	}
+}

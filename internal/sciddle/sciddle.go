@@ -1,0 +1,296 @@
+// Package sciddle reimplements the Sciddle remote-procedure-call
+// middleware of Arbenz et al. that the paper's parallel Opal is built on:
+// a thin RPC layer over PVM in a single-client / multiple-server setting.
+// A client connects to a set of server tasks, each running a Service of
+// named handlers; calls pack their arguments into PVM buffers, the server
+// stub dispatches to the handler and ships the reply back.
+//
+// Two aspects the paper contributes are reproduced faithfully:
+//
+//   - Overlap control (Section 3.3).  In the original Sciddle, requests,
+//     server computation and replies overlap freely, which makes the
+//     communication, computation and idle times of a phase impossible to
+//     separate.  In accounting mode the runtime inserts two PVM barriers
+//     per call phase — one after all requests are delivered, one after all
+//     handlers finish — trading a small slowdown (the paper measured <5%)
+//     for exact attribution.  The barriers "do not actually cause, but
+//     merely expose the contention" of single-client/multi-server
+//     communication.
+//
+//   - Middleware-integrated performance monitoring (Section 3.2).  The
+//     client connection keeps per-method statistics (call and return
+//     times, volumes) and every task carries an hpm.Monitor, so the
+//     counters live at the same abstraction level as the RPCs.
+package sciddle
+
+import (
+	"fmt"
+
+	"opalperf/internal/pvm"
+)
+
+// Protocol tags, allocated above the application range.
+const (
+	tagRequest = pvm.ReservedTagBase + iota
+	tagReplyBase
+)
+
+// Reserved method names.
+const (
+	methodStop = "_sciddle_stop"
+)
+
+// Handler is one exported server subroutine: it consumes the unpacked
+// request buffer and returns the reply buffer (nil for a void reply).
+type Handler func(t pvm.Task, req *pvm.Buffer) *pvm.Buffer
+
+// Service is a set of named handlers exported by a server, the runtime
+// equivalent of a Sciddle interface specification.
+type Service struct {
+	Name     string
+	handlers map[string]Handler
+	order    []string
+}
+
+// NewService creates an empty service.
+func NewService(name string) *Service {
+	return &Service{Name: name, handlers: make(map[string]Handler)}
+}
+
+// Register adds a handler under the given method name.  Registering a
+// duplicate name panics: interfaces are static in Sciddle.
+func (s *Service) Register(method string, h Handler) {
+	if _, dup := s.handlers[method]; dup {
+		panic(fmt.Sprintf("sciddle: duplicate method %q in service %s", method, s.Name))
+	}
+	s.handlers[method] = h
+	s.order = append(s.order, method)
+}
+
+// Methods returns the registered method names in registration order.
+func (s *Service) Methods() []string { return append([]string(nil), s.order...) }
+
+// ServeOptions configure a server loop.
+type ServeOptions struct {
+	// Accounting enables the paper's barrier-separated timing mode.  It
+	// must match the client's setting.
+	Accounting bool
+	// Parties is the barrier size (servers + client); required when
+	// Accounting is set.
+	Parties int
+}
+
+// Serve runs the server loop on task t until the client sends a stop
+// request.  In accounting mode each request is bracketed by the two phase
+// barriers described in the package comment.
+func Serve(t pvm.Task, svc *Service, opt ServeOptions) {
+	if opt.Accounting && opt.Parties < 2 {
+		panic("sciddle: accounting mode needs Parties >= 2")
+	}
+	phase := 0
+	for {
+		req, src, _ := t.Recv(pvm.AnySrc, tagRequest)
+		callID, err := req.UnpackInt()
+		if err != nil {
+			panic(fmt.Sprintf("sciddle: malformed request: %v", err))
+		}
+		method, err := req.UnpackString()
+		if err != nil {
+			panic(fmt.Sprintf("sciddle: malformed request: %v", err))
+		}
+		if method == methodStop {
+			// Acknowledge and leave; no barriers around shutdown.
+			t.Send(src, replyTag(callID), pvm.NewBuffer())
+			return
+		}
+		h := svc.handlers[method]
+		if h == nil {
+			panic(fmt.Sprintf("sciddle: service %s has no method %q", svc.Name, method))
+		}
+		if opt.Accounting {
+			t.Barrier(barrierKey(phase, "call"), opt.Parties)
+		}
+		reply := h(t, req)
+		if reply == nil {
+			reply = pvm.NewBuffer()
+		}
+		if opt.Accounting {
+			t.Barrier(barrierKey(phase, "done"), opt.Parties)
+			phase++
+		}
+		t.Send(src, replyTag(callID), reply)
+	}
+}
+
+func replyTag(callID int) int { return tagReplyBase + 1 + callID }
+
+func barrierKey(phase int, point string) string {
+	return fmt.Sprintf("sciddle/%d/%s", phase, point)
+}
+
+// MethodStats aggregates the client-side cost of one method, as the
+// instrumented middleware reports it.
+type MethodStats struct {
+	Method   string
+	Calls    int
+	BytesOut int
+	BytesIn  int
+	// TCall is client time spent transmitting requests (the t_call terms
+	// of eq. 7); TReturn is client time spent in Recv for replies,
+	// including waiting (the t_return terms of eqs. 8-9 plus idle).
+	TCall   float64
+	TReturn float64
+}
+
+// Conn is the client side of a Sciddle session: an ordered set of server
+// tasks exporting the same service.
+type Conn struct {
+	t          pvm.Task
+	servers    []int
+	seq        int
+	phase      int
+	accounting bool
+	stats      map[string]*MethodStats
+	statOrder  []string
+}
+
+// Connect builds a connection from a client task to its servers.
+func Connect(t pvm.Task, servers []int) *Conn {
+	return &Conn{t: t, servers: append([]int(nil), servers...), stats: make(map[string]*MethodStats)}
+}
+
+// SetAccounting toggles the barrier-separated timing mode.  It must match
+// the servers' ServeOptions and be set before the first call.
+func (c *Conn) SetAccounting(on bool) { c.accounting = on }
+
+// Accounting reports whether accounting mode is active.
+func (c *Conn) Accounting() bool { return c.accounting }
+
+// Servers returns the server TIDs.
+func (c *Conn) Servers() []int { return append([]int(nil), c.servers...) }
+
+// NumServers returns the number of servers.
+func (c *Conn) NumServers() int { return len(c.servers) }
+
+func (c *Conn) stat(method string) *MethodStats {
+	s := c.stats[method]
+	if s == nil {
+		s = &MethodStats{Method: method}
+		c.stats[method] = s
+		c.statOrder = append(c.statOrder, method)
+	}
+	return s
+}
+
+// Stats returns per-method statistics in first-call order.
+func (c *Conn) Stats() []*MethodStats {
+	out := make([]*MethodStats, 0, len(c.statOrder))
+	for _, m := range c.statOrder {
+		out = append(out, c.stats[m])
+	}
+	return out
+}
+
+// Pending is an outstanding asynchronous call.
+type Pending struct {
+	c      *Conn
+	server int
+	callID int
+	method string
+	done   bool
+	reply  *pvm.Buffer
+}
+
+// CallAsync issues a request to server index i (0-based position in the
+// connection's server list) and returns immediately.
+func (c *Conn) CallAsync(i int, method string, args *pvm.Buffer) *Pending {
+	if i < 0 || i >= len(c.servers) {
+		panic(fmt.Sprintf("sciddle: server index %d out of range", i))
+	}
+	if args == nil {
+		args = pvm.NewBuffer()
+	}
+	callID := c.seq
+	c.seq++
+	req := pvm.NewBuffer().PackInt(callID).PackString(method)
+	appendBuffer(req, args)
+	st := c.stat(method)
+	t0 := c.t.Now()
+	c.t.Send(c.servers[i], tagRequest, req)
+	st.TCall += c.t.Now() - t0
+	st.Calls++
+	st.BytesOut += req.Bytes()
+	return &Pending{c: c, server: c.servers[i], callID: callID, method: method}
+}
+
+// Wait blocks until the reply arrives and returns it.  Waiting twice
+// returns the same reply.
+func (p *Pending) Wait() *pvm.Buffer {
+	if p.done {
+		return p.reply
+	}
+	st := p.c.stat(p.method)
+	t0 := p.c.t.Now()
+	b, _, _ := p.c.t.Recv(p.server, replyTag(p.callID))
+	st.TReturn += p.c.t.Now() - t0
+	st.BytesIn += b.Bytes()
+	p.reply = b
+	p.done = true
+	return b
+}
+
+// Call is the synchronous convenience wrapper.
+func (c *Conn) Call(i int, method string, args *pvm.Buffer) *pvm.Buffer {
+	return c.CallAsync(i, method, args).Wait()
+}
+
+// CallPhase performs one SPMD call phase: method is invoked once on every
+// server with per-server arguments from args(i).  In overlapped mode the
+// requests are all sent before any reply is awaited (the original Sciddle
+// behaviour); in accounting mode the two phase barriers separate the
+// request delivery, the parallel computation and the reply collection.
+// Replies are returned indexed by server.
+func (c *Conn) CallPhase(method string, args func(i int) *pvm.Buffer) []*pvm.Buffer {
+	pending := make([]*Pending, len(c.servers))
+	for i := range c.servers {
+		var a *pvm.Buffer
+		if args != nil {
+			a = args(i)
+		}
+		pending[i] = c.CallAsync(i, method, a)
+	}
+	if c.accounting {
+		parties := len(c.servers) + 1
+		c.t.Barrier(barrierKey(c.phase, "call"), parties)
+		c.t.Barrier(barrierKey(c.phase, "done"), parties)
+		c.phase++
+	}
+	replies := make([]*pvm.Buffer, len(pending))
+	for i, p := range pending {
+		replies[i] = p.Wait()
+	}
+	return replies
+}
+
+// Close sends a stop request to every server and collects the
+// acknowledgements.  The connection must not be used afterwards.
+func (c *Conn) Close() {
+	pending := make([]*Pending, len(c.servers))
+	for i := range c.servers {
+		pending[i] = c.CallAsync(i, methodStop, nil)
+	}
+	for _, p := range pending {
+		p.Wait()
+	}
+}
+
+// appendBuffer re-packs all items of src onto dst (the stub layer packs
+// args into a fresh buffer; the RPC layer prefixes the header).
+func appendBuffer(dst, src *pvm.Buffer) {
+	r := src.Reader()
+	for i := 0; i < src.Items(); i++ {
+		if err := r.CopyNext(dst); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package stats provides the small set of descriptive statistics and
+// regression helpers the experimental methodology of the paper needs
+// (repeated-measurement variability, least-squares quality metrics).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean; zero for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance; zero for fewer than two
+// points.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// Std returns the sample standard deviation.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the extrema; zeros for an empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Median returns the median; zero for an empty slice.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// under a normal approximation (1.96 sigma / sqrt(n)).
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * Std(xs) / math.Sqrt(float64(n))
+}
+
+// RelErr returns |a-b| / |b|; +Inf when b is zero and a is not, 0 when
+// both are zero.
+func RelErr(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+// MAPE returns the mean absolute percentage error of predictions vs
+// measurements, skipping zero measurements.
+func MAPE(pred, meas []float64) float64 {
+	if len(pred) != len(meas) {
+		panic(fmt.Sprintf("stats: MAPE length mismatch %d vs %d", len(pred), len(meas)))
+	}
+	var s float64
+	var n int
+	for i := range pred {
+		if meas[i] == 0 {
+			continue
+		}
+		s += math.Abs(pred[i]-meas[i]) / math.Abs(meas[i])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// R2 returns the coefficient of determination of predictions vs
+// measurements (1 = perfect fit).
+func R2(pred, meas []float64) float64 {
+	if len(pred) != len(meas) {
+		panic(fmt.Sprintf("stats: R2 length mismatch %d vs %d", len(pred), len(meas)))
+	}
+	if len(meas) == 0 {
+		return 0
+	}
+	m := Mean(meas)
+	var ssRes, ssTot float64
+	for i := range meas {
+		d := meas[i] - pred[i]
+		ssRes += d * d
+		t := meas[i] - m
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// LinearFit fits y = a + b*x by ordinary least squares and returns the
+// intercept a and slope b.
+func LinearFit(x, y []float64) (a, b float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("stats: LinearFit length mismatch %d vs %d", len(x), len(y)))
+	}
+	n := float64(len(x))
+	if n == 0 {
+		return 0, 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy float64
+	for i := range x {
+		dx := x[i] - mx
+		sxx += dx * dx
+		sxy += dx * (y[i] - my)
+	}
+	if sxx == 0 {
+		return my, 0
+	}
+	b = sxy / sxx
+	a = my - b*mx
+	return a, b
+}
+
+// Pearson returns the correlation coefficient of two samples.
+func Pearson(x, y []float64) float64 {
+	if len(x) != len(y) || len(x) == 0 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, syy, sxy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

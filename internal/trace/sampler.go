@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"opalperf/internal/vm"
+)
+
+// Sampler reproduces the behaviour of the sampling-based performance
+// tools the paper warns about (Section 3.2): "Sampling based tools give a
+// direct estimate for the compute rate in MFlop/s and are easy to use,
+// but they are extremely complex to understand.  Sampled computation
+// rates are no substitute for the simple ratio of operations counted
+// divided by the cycles used."
+//
+// SampleShares probes a process's recorded timeline at a fixed period and
+// attributes each whole period to whatever the process was doing at the
+// sample instant.  Short phases alias: a process that alternates 1 ms of
+// communication with 9 ms of computation looks 100% busy to a 10 ms
+// sampler that happens to land on the compute phase — or 100% idle if it
+// lands in the gaps.  Comparing the sampled shares against the exact
+// TotalsBetween quantifies the bias.
+func SampleShares(r *Recorder, proc int, t0, t1, period float64) [vm.NumSegKinds]float64 {
+	var counts [vm.NumSegKinds]float64
+	if period <= 0 || t1 <= t0 {
+		return counts
+	}
+	segs := r.Segments()
+	total := 0.0
+	for t := t0 + period/2; t < t1; t += period {
+		kind, ok := stateAt(segs, proc, t)
+		if ok {
+			counts[kind]++
+		}
+		total++
+	}
+	if total == 0 {
+		return counts
+	}
+	for k := range counts {
+		counts[k] /= total
+	}
+	return counts
+}
+
+// stateAt finds the segment covering time t for the process.
+func stateAt(segs []Segment, proc int, t float64) (vm.SegKind, bool) {
+	for _, s := range segs {
+		if s.Proc == proc && s.Start <= t && t < s.End {
+			return s.Kind, true
+		}
+	}
+	return 0, false
+}
+
+// SamplingBias compares the sampled compute share against the exact one
+// and returns the absolute error — the quantity that made the paper
+// insist on counted operations over sampling.
+func SamplingBias(r *Recorder, proc int, t0, t1, period float64) float64 {
+	exact := r.TotalsBetween(proc, t0, t1)
+	wall := t1 - t0
+	if wall <= 0 {
+		return 0
+	}
+	exactShare := exact[vm.SegCompute] / wall
+	sampled := SampleShares(r, proc, t0, t1, period)
+	d := sampled[vm.SegCompute] - exactShare
+	if d < 0 {
+		d = -d
+	}
+	return d
+}

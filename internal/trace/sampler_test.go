@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"opalperf/internal/vm"
+)
+
+// alternating builds a timeline alternating compute (dc) and comm (dm)
+// phases over [0, total).
+func alternating(dc, dm, total float64) *Recorder {
+	r := NewRecorder()
+	t := 0.0
+	for t < total {
+		r.Segment(0, "p", vm.SegCompute, t, t+dc)
+		r.Segment(0, "p", vm.SegComm, t+dc, t+dc+dm)
+		t += dc + dm
+	}
+	return r
+}
+
+func TestSampleSharesFineSamplingConverges(t *testing.T) {
+	r := alternating(0.009, 0.001, 1.0) // 90% compute
+	shares := SampleShares(r, 0, 0, 1, 1e-4)
+	if math.Abs(shares[vm.SegCompute]-0.9) > 0.02 {
+		t.Errorf("fine-sampled compute share = %v, want ~0.9", shares[vm.SegCompute])
+	}
+	if math.Abs(shares[vm.SegComm]-0.1) > 0.02 {
+		t.Errorf("fine-sampled comm share = %v, want ~0.1", shares[vm.SegComm])
+	}
+}
+
+// TestCoarseSamplingAliases is the paper's Section 3.2 point: a sampler
+// whose period resonates with the phase structure reports a wildly wrong
+// rate, while the counted ratio is exact.
+func TestCoarseSamplingAliases(t *testing.T) {
+	// Phases repeat every 10 ms; sampling every 10 ms starting at 5 ms
+	// always lands in the 9 ms compute phase: it reports 100% compute
+	// although the true share is 90%.
+	r := alternating(0.009, 0.001, 1.0)
+	shares := SampleShares(r, 0, 0, 1, 0.01)
+	if shares[vm.SegCompute] != 1.0 {
+		t.Errorf("aliased compute share = %v, want exactly 1.0", shares[vm.SegCompute])
+	}
+	bias := SamplingBias(r, 0, 0, 1, 0.01)
+	if math.Abs(bias-0.1) > 1e-9 {
+		t.Errorf("sampling bias = %v, want 0.1", bias)
+	}
+	// The counted (exact) accounting has no such bias.
+	exact := r.TotalsBetween(0, 0, 1)
+	if math.Abs(exact[vm.SegCompute]-0.9) > 1e-9 {
+		t.Errorf("counted compute = %v", exact[vm.SegCompute])
+	}
+}
+
+func TestSampleSharesUntrackedGaps(t *testing.T) {
+	r := NewRecorder()
+	r.Segment(0, "p", vm.SegCompute, 0, 0.25) // then silence
+	shares := SampleShares(r, 0, 0, 1, 0.01)
+	var sum float64
+	for _, v := range shares {
+		sum += v
+	}
+	if math.Abs(sum-0.25) > 0.05 {
+		t.Errorf("tracked share = %v, want ~0.25 (gaps unattributed)", sum)
+	}
+}
+
+func TestSampleSharesDegenerate(t *testing.T) {
+	r := NewRecorder()
+	if s := SampleShares(r, 0, 0, 1, 0); s != ([vm.NumSegKinds]float64{}) {
+		t.Error("zero period should give zeros")
+	}
+	if s := SampleShares(r, 0, 1, 1, 0.1); s != ([vm.NumSegKinds]float64{}) {
+		t.Error("empty window should give zeros")
+	}
+	if SamplingBias(r, 0, 1, 1, 0.1) != 0 {
+		t.Error("empty window bias should be 0")
+	}
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"opalperf/internal/vm"
+)
+
+func TestRenderTimelineBasic(t *testing.T) {
+	r := NewRecorder()
+	// Proc 0: compute [0,5], comm [5,6]; proc 1: idle [0,5], compute [5,10].
+	r.Segment(0, "client", vm.SegCompute, 0, 5)
+	r.Segment(0, "client", vm.SegComm, 5, 6)
+	r.Segment(1, "server", vm.SegIdle, 0, 5)
+	r.Segment(1, "server", vm.SegCompute, 5, 10)
+	out := RenderTimeline(r, map[int]string{0: "client", 1: "server"}, 0, 10, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // axis + 2 procs + legend
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "client") || !strings.Contains(lines[2], "server") {
+		t.Errorf("labels missing:\n%s", out)
+	}
+	// Client row: first half compute '#', then a '=' column.
+	clientRow := lines[1][strings.Index(lines[1], "|")+1:]
+	if !strings.HasPrefix(clientRow, "##########") {
+		t.Errorf("client row = %q", clientRow)
+	}
+	if !strings.Contains(clientRow, "=") {
+		t.Errorf("client comm missing: %q", clientRow)
+	}
+	// Server row: idle then compute.
+	serverRow := lines[2][strings.Index(lines[2], "|")+1:]
+	if !strings.HasPrefix(serverRow, "..........") {
+		t.Errorf("server row = %q", serverRow)
+	}
+	if !strings.Contains(serverRow, "##########") {
+		t.Errorf("server compute missing: %q", serverRow)
+	}
+	if !strings.Contains(out, "[#]=compute") {
+		t.Error("legend missing")
+	}
+}
+
+func TestRenderTimelineWindowClipping(t *testing.T) {
+	r := NewRecorder()
+	r.Segment(0, "p", vm.SegCompute, 0, 100)
+	out := RenderTimeline(r, nil, 40, 60, 10)
+	row := strings.Split(out, "\n")[1]
+	body := row[strings.Index(row, "|")+1:]
+	if !strings.HasPrefix(body, "##########") {
+		t.Errorf("clipped row = %q", body)
+	}
+}
+
+func TestRenderTimelineEmptyAndDegenerate(t *testing.T) {
+	r := NewRecorder()
+	if RenderTimeline(r, nil, 0, 1, 10) != "" {
+		t.Error("empty recorder should render nothing")
+	}
+	r.Segment(0, "p", vm.SegCompute, 0, 1)
+	if RenderTimeline(r, nil, 5, 5, 10) != "" {
+		t.Error("degenerate window should render nothing")
+	}
+	// Default name and width.
+	out := RenderTimeline(r, nil, 0, 1, 0)
+	if !strings.Contains(out, "proc 0") {
+		t.Errorf("default label missing:\n%s", out)
+	}
+}
+
+func TestRenderTimelineGapsBlank(t *testing.T) {
+	r := NewRecorder()
+	r.Segment(0, "p", vm.SegCompute, 0, 2)
+	r.Segment(0, "p", vm.SegCompute, 8, 10)
+	out := RenderTimeline(r, nil, 0, 10, 10)
+	row := strings.Split(out, "\n")[1]
+	body := row[strings.Index(row, "|")+1 : strings.LastIndex(row, "|")]
+	if !strings.Contains(body, " ") {
+		t.Errorf("gap not blank: %q", body)
+	}
+	if body[0] != '#' || body[9] != '#' {
+		t.Errorf("ends wrong: %q", body)
+	}
+}
+
+func TestTimeAxisStamps(t *testing.T) {
+	ax := timeAxis(0, 10, 40)
+	if len(ax) != 40 {
+		t.Fatalf("axis width = %d", len(ax))
+	}
+	if !strings.Contains(ax, "0") || !strings.Contains(ax, "5") || !strings.Contains(ax, "10") {
+		t.Errorf("axis = %q", ax)
+	}
+}

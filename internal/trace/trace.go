@@ -1,0 +1,213 @@
+// Package trace records classified spans of (virtual or real) execution
+// time per process and aggregates them into the detailed execution-time
+// breakdowns of the paper's Figures 1 and 2: parallel computation,
+// sequential computation, communication, synchronization and idle time.
+//
+// It is the Go equivalent of the performance instrumentation the authors
+// integrated into the Sciddle middleware (Section 3): because the
+// middleware is instrumented — rather than an external sampling tool — the
+// client/server structure and the accounting barriers are visible to the
+// recorder and every second of wall-clock time can be attributed.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"opalperf/internal/vm"
+)
+
+// Segment is one classified span of one process's timeline.
+type Segment struct {
+	Proc  int
+	Name  string
+	Kind  vm.SegKind
+	Start float64
+	End   float64
+}
+
+// Duration returns the span length.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// Recorder implements vm.Tracer and accumulates segments.  It is safe for
+// concurrent use so that the real-goroutine PVM fabric can share it.
+type Recorder struct {
+	mu   sync.Mutex
+	segs []Segment
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Segment implements vm.Tracer.
+func (r *Recorder) Segment(proc int, name string, kind vm.SegKind, start, end float64) {
+	r.mu.Lock()
+	r.segs = append(r.segs, Segment{Proc: proc, Name: name, Kind: kind, Start: start, End: end})
+	r.mu.Unlock()
+}
+
+// Segments returns a copy of all recorded segments in recording order.
+func (r *Recorder) Segments() []Segment {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Segment, len(r.segs))
+	copy(out, r.segs)
+	return out
+}
+
+// Reset discards all recorded segments.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.segs = r.segs[:0]
+	r.mu.Unlock()
+}
+
+// Totals sums the recorded time per kind for one process.
+func (r *Recorder) Totals(proc int) [vm.NumSegKinds]float64 {
+	return r.TotalsBetween(proc, math.Inf(-1), math.Inf(1))
+}
+
+// TotalsBetween sums the per-kind time of one process clipped to the
+// window [t0, t1] — the measurement window of a run, excluding the
+// amortized initialization before t0 and the shutdown after t1.
+func (r *Recorder) TotalsBetween(proc int, t0, t1 float64) [vm.NumSegKinds]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var t [vm.NumSegKinds]float64
+	for _, s := range r.segs {
+		if s.Proc != proc {
+			continue
+		}
+		start, end := s.Start, s.End
+		if start < t0 {
+			start = t0
+		}
+		if end > t1 {
+			end = t1
+		}
+		if end > start {
+			t[s.Kind] += end - start
+		}
+	}
+	return t
+}
+
+// Procs returns the sorted ids of all processes with recorded segments.
+func (r *Recorder) Procs() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := map[int]bool{}
+	for _, s := range r.segs {
+		seen[s.Proc] = true
+	}
+	ids := make([]int, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Breakdown is the paper's decomposition of the wall-clock execution time,
+// t_OPAL = t_par_comp + t_seq_comp + t_comm + t_sync (+ idle), measured
+// rather than modelled.  All values are seconds.
+type Breakdown struct {
+	Wall float64
+	// ParComp is the parallel computation time: the mean over the servers
+	// of their computing time (the work one server contributes to the
+	// critical path when perfectly balanced).
+	ParComp float64
+	// MaxParComp is the busiest server's computing time; the gap to
+	// ParComp is load imbalance and surfaces in Idle.
+	MaxParComp float64
+	// MinParComp is the least-loaded server's computing time.
+	MinParComp float64
+	// SeqComp is the client's own computation time.
+	SeqComp float64
+	// Comm is the total communication time of eq. 6: the client's call
+	// transfers plus the servers' return transfers (which serialize
+	// through the shared channel while the client waits, so they are
+	// disjoint wall-clock spans).
+	Comm float64
+	// Sync is the client's synchronization time (the accounting barriers).
+	Sync float64
+	// Idle is the remainder of the wall clock: the client waiting for
+	// servers, which grows with load imbalance.
+	Idle float64
+	// Servers is the number of server processes aggregated.
+	Servers int
+}
+
+// ComputeBreakdown aggregates a recorder into the paper's five response
+// variables.  clientID identifies the client process; serverIDs the
+// servers; wall is the wall-clock time of the run (e.g. kernel.MaxTime()).
+func ComputeBreakdown(r *Recorder, clientID int, serverIDs []int, wall float64) Breakdown {
+	return ComputeBreakdownBetween(r, clientID, serverIDs, math.Inf(-1), math.Inf(1), wall)
+}
+
+// ComputeBreakdownBetween aggregates only the window [t0, t1] of the
+// recorded timelines: the simulation phase of a run, excluding start-up
+// and shutdown traffic.
+func ComputeBreakdownBetween(r *Recorder, clientID int, serverIDs []int, t0, t1, wall float64) Breakdown {
+	b := Breakdown{Wall: wall, Servers: len(serverIDs)}
+	ct := r.TotalsBetween(clientID, t0, t1)
+	b.SeqComp = ct[vm.SegCompute] + ct[vm.SegOther]
+	b.Comm = ct[vm.SegComm]
+	b.Sync = ct[vm.SegSync]
+	if len(serverIDs) > 0 {
+		b.MinParComp = -1
+		var sum float64
+		for _, id := range serverIDs {
+			st := r.TotalsBetween(id, t0, t1)
+			c := st[vm.SegCompute] + st[vm.SegOther]
+			sum += c
+			if c > b.MaxParComp {
+				b.MaxParComp = c
+			}
+			if b.MinParComp < 0 || c < b.MinParComp {
+				b.MinParComp = c
+			}
+			// The servers' reply transfers count as communication (they
+			// occupy the shared channel while the client waits).
+			b.Comm += st[vm.SegComm]
+		}
+		b.ParComp = sum / float64(len(serverIDs))
+		if b.MinParComp < 0 {
+			b.MinParComp = 0
+		}
+	}
+	b.Idle = wall - b.ParComp - b.SeqComp - b.Comm - b.Sync
+	if b.Idle < 0 {
+		b.Idle = 0
+	}
+	return b
+}
+
+// Imbalance returns the relative load imbalance across servers,
+// (max-mean)/mean, the quantity in which the paper's even-server anomaly
+// is visible.  Zero when there are no servers or no parallel work.
+func (b Breakdown) Imbalance() float64 {
+	if b.ParComp <= 0 {
+		return 0
+	}
+	return (b.MaxParComp - b.ParComp) / b.ParComp
+}
+
+// Components returns the breakdown in the paper's chart order with labels.
+func (b Breakdown) Components() ([]string, []float64) {
+	return []string{"par comp", "seq comp", "comm", "sync", "idle"},
+		[]float64{b.ParComp, b.SeqComp, b.Comm, b.Sync, b.Idle}
+}
+
+// Sum returns the accounted total (which equals Wall up to the clamping of
+// negative idle).
+func (b Breakdown) Sum() float64 {
+	return b.ParComp + b.SeqComp + b.Comm + b.Sync + b.Idle
+}
+
+func (b Breakdown) String() string {
+	return fmt.Sprintf("wall %.3fs = par %.3f + seq %.3f + comm %.3f + sync %.3f + idle %.3f (imbalance %.1f%%)",
+		b.Wall, b.ParComp, b.SeqComp, b.Comm, b.Sync, b.Idle, 100*b.Imbalance())
+}

@@ -1,0 +1,650 @@
+// Package vm implements a deterministic, process-oriented discrete-event
+// simulation kernel with virtual clocks.
+//
+// The kernel stands in for the hardware platforms of the paper (Cray J90,
+// Cray T3E-900 and the three Cluster-of-PCs flavours) that are no longer
+// available.  Every simulated process (a PVM task in the layers above) is a
+// goroutine with a local virtual clock.  Exactly one process executes at any
+// instant; control is handed over through channels and the kernel always
+// resumes the runnable process with the smallest local time (ties broken by
+// process id), which makes simulations reproducible bit for bit.
+//
+// Virtual time is charged through a pluggable cost model:
+//
+//   - Compute(flops) advances the local clock by seconds obtained from the
+//     process's ComputeModel (which may depend on the current working set,
+//     modelling the memory hierarchy of Section 2.6 of the paper);
+//   - Send charges the sender `busy` seconds and stamps the message with an
+//     arrival time `busy+latency` later, per the paper's t = b1 + bytes/a1
+//     communication model;
+//   - Recv blocks until the earliest-arriving matching message is safe to
+//     deliver;
+//   - Barrier releases all member processes at max(arrival)+syncCost and
+//     classifies the wait as idle and the release as synchronization, which
+//     is exactly the accounting instrumentation the paper added to Sciddle.
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Time is virtual time in seconds.
+type Time = float64
+
+// SegKind classifies a span of a process's virtual timeline.  The five kinds
+// correspond to the five response variables of the paper's experimental
+// design (Section 2.3): computation, communication, synchronization and idle
+// time; SegOther covers bookkeeping that the paper folds into computation.
+type SegKind int
+
+const (
+	// SegCompute is time spent computing (parallel or sequential work).
+	SegCompute SegKind = iota
+	// SegComm is time spent inside communication primitives.
+	SegComm
+	// SegSync is time spent in the synchronization operation proper.
+	SegSync
+	// SegIdle is time spent waiting: for a message to arrive or for other
+	// processes to reach a barrier (load imbalance).
+	SegIdle
+	// SegOther is uncategorized virtual time.
+	SegOther
+)
+
+var segNames = [...]string{"compute", "comm", "sync", "idle", "other"}
+
+func (k SegKind) String() string {
+	if int(k) < len(segNames) {
+		return segNames[k]
+	}
+	return fmt.Sprintf("SegKind(%d)", int(k))
+}
+
+// NumSegKinds is the number of distinct segment kinds.
+const NumSegKinds = 5
+
+// Tracer receives every classified span of virtual time.  trace.Recorder is
+// the canonical implementation; a nil tracer disables tracing.
+type Tracer interface {
+	Segment(proc int, name string, kind SegKind, start, end Time)
+}
+
+// Message is a unit of communication between processes.
+type Message struct {
+	Src, Dst int
+	Tag      int
+	Bytes    int // payload size used by the communication cost model
+	Payload  any
+	Arrival  Time
+	seq      uint64 // global sequence number, breaks arrival ties
+}
+
+// CommModel prices point-to-point communication and barrier synchronization.
+type CommModel interface {
+	// SendCost returns the time the sender is busy transmitting (charged
+	// to the sender as SegComm) and the additional latency before the
+	// message becomes visible at the destination.
+	SendCost(src, dst, bytes int) (busy, latency float64)
+	// SyncCost returns the cost of one barrier synchronization of n
+	// processes (the b5 parameter of the paper's model).
+	SyncCost(n int) float64
+}
+
+// ComputeModel converts a floating-point operation count into virtual
+// seconds, possibly dependent on the working-set size in bytes.
+type ComputeModel interface {
+	Seconds(flops float64, workingSet int) float64
+}
+
+// FixedCost is a trivial CommModel with constant per-message overhead, a
+// fixed bandwidth and a fixed barrier cost.  The platform package provides
+// richer models; FixedCost is convenient for tests.
+type FixedCost struct {
+	Overhead  float64 // seconds per message (b1)
+	ByteRate  float64 // bytes per second (a1)
+	Latency   float64 // extra wire latency
+	SyncDelay float64 // barrier cost (b5)
+}
+
+// SendCost implements CommModel.
+func (f FixedCost) SendCost(src, dst, bytes int) (busy, latency float64) {
+	busy = f.Overhead
+	if f.ByteRate > 0 {
+		busy += float64(bytes) / f.ByteRate
+	}
+	return busy, f.Latency
+}
+
+// SyncCost implements CommModel.
+func (f FixedCost) SyncCost(n int) float64 { return f.SyncDelay }
+
+// ConstRate is a ComputeModel with a flat rate in flop/s.
+type ConstRate float64
+
+// Seconds implements ComputeModel.
+func (r ConstRate) Seconds(flops float64, ws int) float64 {
+	if r <= 0 {
+		return 0
+	}
+	return flops / float64(r)
+}
+
+type procState int
+
+const (
+	stateReady procState = iota
+	stateRunning
+	stateRecv
+	stateBarrier
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateReady:
+		return "ready"
+	case stateRunning:
+		return "running"
+	case stateRecv:
+		return "recv"
+	case stateBarrier:
+		return "barrier"
+	case stateDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Stats accumulates per-process accounting maintained by the kernel in
+// addition to any Tracer.
+type Stats struct {
+	Seg       [NumSegKinds]float64 // virtual seconds per segment kind
+	MsgsSent  int
+	BytesSent int
+	MsgsRecv  int
+	BytesRecv int
+	Flops     float64 // flops charged through Compute
+}
+
+// Busy returns the total classified time (everything except untracked gaps).
+func (s *Stats) Busy() float64 {
+	var t float64
+	for _, v := range s.Seg {
+		t += v
+	}
+	return t
+}
+
+// Proc is a simulated process.  All methods must be called from the
+// process's own goroutine while it holds the execution token (i.e. from
+// inside the function passed to NewProc or Spawn).
+type Proc struct {
+	k       *Kernel
+	id      int
+	name    string
+	now     Time
+	compute ComputeModel
+	ws      int // current working-set size in bytes
+	stats   Stats
+
+	state   procState
+	resume  chan struct{}
+	mailbox []*Message
+	match   func(*Message) bool
+	got     *Message
+	barrier *barrier
+	fn      func(*Proc)
+}
+
+// ID returns the process id (0-based, dense).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the process name given at creation.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the process's local virtual time in seconds.
+func (p *Proc) Now() Time { return p.now }
+
+// Stats returns a snapshot of the process's accounting counters.
+func (p *Proc) Stats() Stats { return p.stats }
+
+// SetWorkingSet declares the process's current working-set size in bytes;
+// the compute model may slow the process down when the working set spills
+// out of cache or core memory (Section 2.6 of the paper).
+func (p *Proc) SetWorkingSet(bytes int) { p.ws = bytes }
+
+// WorkingSet returns the declared working-set size in bytes.
+func (p *Proc) WorkingSet() int { return p.ws }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+func (p *Proc) segment(kind SegKind, start, end Time) {
+	if end <= start {
+		return
+	}
+	p.stats.Seg[kind] += end - start
+	if p.k.tracer != nil {
+		p.k.tracer.Segment(p.id, p.name, kind, start, end)
+	}
+}
+
+// Compute advances the local clock by the cost of the given number of
+// (platform-counted) floating-point operations.
+func (p *Proc) Compute(flops float64) {
+	if flops <= 0 {
+		return
+	}
+	var dt float64
+	if p.compute != nil {
+		dt = p.compute.Seconds(flops, p.ws)
+	}
+	p.stats.Flops += flops
+	p.Elapse(dt, SegCompute)
+}
+
+// Elapse advances the local clock by d seconds classified as kind.
+func (p *Proc) Elapse(d float64, kind SegKind) {
+	if d < 0 {
+		panic(fmt.Sprintf("vm: proc %d elapses negative time %g", p.id, d))
+	}
+	if d == 0 {
+		return
+	}
+	start := p.now
+	p.now += d
+	p.segment(kind, start, p.now)
+}
+
+// Send transmits a message to the process with id dst.  The sender is
+// charged busy time per the communication model; the message becomes
+// receivable busy+latency after the call started.  Payload is shared by
+// reference: simulated processes live in one address space, exactly like
+// PVM tasks on a shared-memory Cray J90 node; the honest data volume must
+// be declared in bytes for the cost model.
+//
+// Transfers with a non-zero cost contend for one shared communication
+// channel (the single client-server channel whose contention the paper's
+// accounting barriers expose, Section 3.3): a transfer starts no earlier
+// than the previous one finished, and the queueing wait is classified as
+// communication.  To keep the shared channel causally consistent, Send
+// first yields to the scheduler so that all sends execute in global
+// virtual-time order.
+func (p *Proc) Send(dst, tag int, payload any, bytes int) {
+	q := p.k.proc(dst)
+	if q == nil {
+		panic(fmt.Sprintf("vm: send to unknown proc %d", dst))
+	}
+	// Re-enter through the scheduler at our current time so that sends
+	// from processes with earlier clocks hit the channel first.
+	p.yield()
+	busy, latency := 0.0, 0.0
+	if p.k.comm != nil {
+		busy, latency = p.k.comm.SendCost(p.id, dst, bytes)
+	}
+	start := p.now
+	if busy > 0 {
+		if p.k.chanFree > start {
+			// Queue behind the transfer in flight.  The wait is idle
+			// time — the channel occupancy itself is what counts as
+			// communication, once, at the occupying sender.
+			p.segment(SegIdle, start, p.k.chanFree)
+			start = p.k.chanFree
+		}
+		p.k.chanFree = start + busy
+	}
+	end := start + busy
+	p.segment(SegComm, start, end)
+	p.now = end
+	p.stats.MsgsSent++
+	p.stats.BytesSent += bytes
+	m := &Message{
+		Src: p.id, Dst: dst, Tag: tag,
+		Bytes: bytes, Payload: payload,
+		Arrival: p.now + latency,
+		seq:     p.k.nextSeq(),
+	}
+	q.mailbox = append(q.mailbox, m)
+}
+
+// MatchAny matches every message.
+func MatchAny(*Message) bool { return true }
+
+// MatchSrcTag returns a match predicate for a (source, tag) pair; src or
+// tag may be -1 to act as a wildcard, mirroring pvm_recv semantics.
+func MatchSrcTag(src, tag int) func(*Message) bool {
+	return func(m *Message) bool {
+		return (src < 0 || m.Src == src) && (tag < 0 || m.Tag == tag)
+	}
+}
+
+// Recv blocks until a message matching the predicate is deliverable and
+// returns the earliest-arriving such message.  Waiting time is classified
+// as SegIdle.  A nil match accepts any message.
+func (p *Proc) Recv(match func(*Message) bool) *Message {
+	if match == nil {
+		match = MatchAny
+	}
+	p.match = match
+	p.state = stateRecv
+	p.yield()
+	// The kernel has selected our earliest matching message and stored it
+	// in p.got before resuming us.
+	m := p.got
+	p.got = nil
+	p.match = nil
+	if m == nil {
+		panic("vm: resumed from recv without a message")
+	}
+	if m.Arrival > p.now {
+		p.segment(SegIdle, p.now, m.Arrival)
+		p.now = m.Arrival
+	}
+	p.stats.MsgsRecv++
+	p.stats.BytesRecv += m.Bytes
+	return m
+}
+
+// Probe reports whether a matching message is already queued (regardless of
+// its arrival time).  It does not advance time and does not block.
+func (p *Proc) Probe(match func(*Message) bool) bool {
+	if match == nil {
+		match = MatchAny
+	}
+	for _, m := range p.mailbox {
+		if match(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// Barrier synchronizes the calling process with parties-1 other processes
+// calling Barrier with the same key.  All members resume at
+// max(arrival times)+syncCost; the wait until the last arrival is
+// classified as SegIdle (load imbalance) and the synchronization operation
+// itself as SegSync, mirroring the accounting barriers the paper added to
+// the Sciddle middleware (Section 3.3).
+func (p *Proc) Barrier(key string, parties int) {
+	if parties <= 0 {
+		panic("vm: barrier with no parties")
+	}
+	b := p.k.barriers[key]
+	if b == nil {
+		b = &barrier{key: key, parties: parties}
+		p.k.barriers[key] = b
+	}
+	if b.parties != parties {
+		panic(fmt.Sprintf("vm: barrier %q party count mismatch: %d vs %d", key, b.parties, parties))
+	}
+	b.members = append(b.members, p)
+	b.arrivals = append(b.arrivals, p.now)
+	if len(b.members) < parties {
+		p.state = stateBarrier
+		p.barrier = b
+		p.yield()
+		p.barrier = nil
+		return
+	}
+	// Last arriver: release everybody.
+	release := b.arrivals[0]
+	for _, t := range b.arrivals {
+		if t > release {
+			release = t
+		}
+	}
+	sync := 0.0
+	if p.k.comm != nil {
+		sync = p.k.comm.SyncCost(parties)
+	}
+	for i, q := range b.members {
+		q.segment(SegIdle, b.arrivals[i], release)
+		q.segment(SegSync, release, release+sync)
+		q.now = release + sync
+		if q != p {
+			q.state = stateReady
+		}
+	}
+	delete(p.k.barriers, key)
+}
+
+// Spawn creates a new process starting at the caller's current virtual
+// time.  It may only be called while the kernel is running.  The returned
+// id is valid immediately (e.g. as a Send destination).
+func (p *Proc) Spawn(name string, compute ComputeModel, fn func(*Proc)) int {
+	q := p.k.addProc(name, compute, fn)
+	q.now = p.now
+	p.k.startProc(q)
+	return q.id
+}
+
+// yield hands the execution token back to the kernel and blocks until the
+// kernel resumes this process.
+func (p *Proc) yield() {
+	p.k.yield <- p
+	<-p.resume
+}
+
+type barrier struct {
+	key      string
+	parties  int
+	members  []*Proc
+	arrivals []Time
+}
+
+// Kernel owns the processes of one simulation.
+type Kernel struct {
+	comm     CommModel
+	tracer   Tracer
+	procs    []*Proc
+	yield    chan *Proc
+	seq      uint64
+	barriers map[string]*barrier
+	running  bool
+	// chanFree is the virtual time at which the shared communication
+	// channel becomes free (star-topology contention model).
+	chanFree Time
+}
+
+// NewKernel creates a kernel with the given communication cost model
+// (which may be nil for free communication) and optional tracer.
+func NewKernel(comm CommModel, tracer Tracer) *Kernel {
+	return &Kernel{
+		comm:     comm,
+		tracer:   tracer,
+		yield:    make(chan *Proc),
+		barriers: make(map[string]*barrier),
+	}
+}
+
+// NewProc registers a process before the simulation starts.  The process
+// begins at virtual time zero.
+func (k *Kernel) NewProc(name string, compute ComputeModel, fn func(*Proc)) *Proc {
+	if k.running {
+		panic("vm: NewProc called while kernel is running; use Proc.Spawn")
+	}
+	return k.addProc(name, compute, fn)
+}
+
+func (k *Kernel) addProc(name string, compute ComputeModel, fn func(*Proc)) *Proc {
+	p := &Proc{
+		k:       k,
+		id:      len(k.procs),
+		name:    name,
+		compute: compute,
+		state:   stateReady,
+		resume:  make(chan struct{}),
+		fn:      fn,
+	}
+	k.procs = append(k.procs, p)
+	return p
+}
+
+// startProc launches the goroutine backing p, parked until first resumed.
+func (k *Kernel) startProc(p *Proc) {
+	go func() {
+		<-p.resume
+		p.fn(p)
+		p.state = stateDone
+		k.yield <- p
+	}()
+}
+
+func (k *Kernel) proc(id int) *Proc {
+	if id < 0 || id >= len(k.procs) {
+		return nil
+	}
+	return k.procs[id]
+}
+
+func (k *Kernel) nextSeq() uint64 {
+	k.seq++
+	return k.seq
+}
+
+// Proc returns the process with the given id, or nil.
+func (k *Kernel) Proc(id int) *Proc { return k.proc(id) }
+
+// Procs returns all processes registered so far.
+func (k *Kernel) Procs() []*Proc { return k.procs }
+
+// runnableKey returns the scheduling key for p and whether p is runnable.
+// Ready processes run at their local time; receive-blocked processes become
+// runnable when a matching message is queued, at max(local, min arrival).
+func (k *Kernel) runnableKey(p *Proc) (Time, bool) {
+	switch p.state {
+	case stateReady:
+		return p.now, true
+	case stateRecv:
+		best, ok := earliestMatch(p)
+		if !ok {
+			return 0, false
+		}
+		key := p.now
+		if best.Arrival > key {
+			key = best.Arrival
+		}
+		return key, true
+	default:
+		return 0, false
+	}
+}
+
+// earliestMatch finds the queued matching message with the smallest
+// (arrival, seq), removing nothing.
+func earliestMatch(p *Proc) (*Message, bool) {
+	var best *Message
+	for _, m := range p.mailbox {
+		if !p.match(m) {
+			continue
+		}
+		if best == nil || m.Arrival < best.Arrival ||
+			(m.Arrival == best.Arrival && m.seq < best.seq) {
+			best = m
+		}
+	}
+	return best, best != nil
+}
+
+// takeEarliestMatch removes and returns the earliest matching message.
+func takeEarliestMatch(p *Proc) *Message {
+	best, ok := earliestMatch(p)
+	if !ok {
+		return nil
+	}
+	for i, m := range p.mailbox {
+		if m == best {
+			p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
+			break
+		}
+	}
+	return best
+}
+
+// DeadlockError reports a simulation that stopped with live but
+// non-runnable processes.
+type DeadlockError struct {
+	States []string
+}
+
+func (e *DeadlockError) Error() string {
+	return "vm: deadlock: " + strings.Join(e.States, ", ")
+}
+
+// Run executes the simulation until every process has finished.  It
+// returns a DeadlockError if live processes remain but none is runnable
+// (e.g. a Recv that can never be satisfied or an incomplete barrier).
+func (k *Kernel) Run() error {
+	if k.running {
+		panic("vm: kernel already running")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+	for _, p := range k.procs {
+		k.startProc(p)
+	}
+	for {
+		// Select the runnable process with the smallest key; ties by id.
+		var next *Proc
+		var nextKey Time
+		allDone := true
+		// Note: k.procs may grow while a process runs (Spawn); this loop
+		// always sees the current slice because the kernel only inspects
+		// it while holding the token.
+		for _, p := range k.procs {
+			if p.state != stateDone {
+				allDone = false
+			}
+			key, ok := k.runnableKey(p)
+			if !ok {
+				continue
+			}
+			if next == nil || key < nextKey {
+				next, nextKey = p, key
+			}
+		}
+		if next == nil {
+			if allDone {
+				return nil
+			}
+			return k.deadlock()
+		}
+		if next.state == stateRecv {
+			next.got = takeEarliestMatch(next)
+		}
+		next.state = stateRunning
+		next.resume <- struct{}{}
+		p := <-k.yield
+		if p.state == stateRunning {
+			// A process that yields without blocking stays ready.
+			p.state = stateReady
+		}
+	}
+}
+
+func (k *Kernel) deadlock() error {
+	var states []string
+	for _, p := range k.procs {
+		if p.state == stateDone {
+			continue
+		}
+		states = append(states, fmt.Sprintf("%s(%d): %s t=%.6g mailbox=%d",
+			p.name, p.id, p.state, p.now, len(p.mailbox)))
+	}
+	sort.Strings(states)
+	return &DeadlockError{States: states}
+}
+
+// MaxTime returns the largest local time over all processes — the virtual
+// makespan of the simulation.
+func (k *Kernel) MaxTime() Time {
+	var t Time
+	for _, p := range k.procs {
+		if p.now > t {
+			t = p.now
+		}
+	}
+	return t
+}

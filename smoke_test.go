@@ -1,0 +1,145 @@
+package opalperf
+
+// Smoke tests: build every command and example and run it with quick
+// arguments, so the CLI surface stays wired end to end.  These exec the
+// Go toolchain; skip them with -short.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildAll compiles all commands into a temp dir once per test binary.
+var builtDir string
+
+func buildCommands(t *testing.T) string {
+	t.Helper()
+	if builtDir != "" {
+		return builtDir
+	}
+	dir := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "./cmd/...")
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+	}
+	builtDir = dir
+	return dir
+}
+
+func runBuilt(t *testing.T, dir, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCommandSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := buildCommands(t)
+
+	t.Run("opal", func(t *testing.T) {
+		out := runBuilt(t, dir, "opal",
+			"-size", "small", "-scale", "0.1", "-servers", "2", "-steps", "2",
+			"-metrics", "-timeline")
+		for _, want := range []string{"virtual execution time", "middleware metrics", "[#]=compute"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("opal output missing %q", want)
+			}
+		}
+	})
+	t.Run("opal-serial", func(t *testing.T) {
+		out := runBuilt(t, dir, "opal",
+			"-size", "small", "-scale", "0.1", "-servers", "0", "-steps", "2", "-v")
+		if !strings.Contains(out, "simulation steps") {
+			t.Error("serial verbose output missing step table")
+		}
+	})
+	t.Run("opal-checkpoint-cycle", func(t *testing.T) {
+		ckpt := filepath.Join(t.TempDir(), "c.ckpt")
+		runBuilt(t, dir, "opal", "-size", "small", "-scale", "0.1",
+			"-servers", "2", "-steps", "2", "-dynamics", "-checkpoint", ckpt)
+		out := runBuilt(t, dir, "opal", "-resume", ckpt,
+			"-servers", "2", "-steps", "1", "-dynamics")
+		if !strings.Contains(out, "resuming from") {
+			t.Error("resume banner missing")
+		}
+	})
+	t.Run("calibrate", func(t *testing.T) {
+		out := runBuilt(t, dir, "calibrate", "-scale", "0.08", "-steps", "3")
+		for _, want := range []string{"fitted model parameters", "MAPE", "a1"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("calibrate output missing %q", want)
+			}
+		}
+	})
+	t.Run("predict", func(t *testing.T) {
+		out := runBuilt(t, dir, "predict", "-size", "medium", "-cost")
+		for _, want := range []string{"speed-up", "cost-effectiveness", "Myrinet"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("predict output missing %q", want)
+			}
+		}
+	})
+	t.Run("microbench", func(t *testing.T) {
+		out := runBuilt(t, dir, "microbench", "-table", "1")
+		if !strings.Contains(out, "Table 1") || !strings.Contains(out, "adjusted") {
+			t.Error("microbench table 1 missing")
+		}
+	})
+	t.Run("sciddlegen", func(t *testing.T) {
+		out := runBuilt(t, dir, "sciddlegen", "-pkg", "demo", "internal/md/opal.idl")
+		if !strings.Contains(out, "type OpalHandler interface") {
+			t.Error("sciddlegen output missing handler interface")
+		}
+	})
+	t.Run("figures-subset", func(t *testing.T) {
+		outDir := t.TempDir()
+		runBuilt(t, dir, "figures", "-scale", "0.08", "-steps", "2",
+			"-maxp", "3", "-only", "fig3,space,table2", "-out", outDir)
+		for _, f := range []string{"fig3_parameter_space.txt", "sec26_space.txt", "table2_communication.txt"} {
+			if _, err := os.Stat(filepath.Join(outDir, f)); err != nil {
+				t.Errorf("missing %s: %v", f, err)
+			}
+		}
+	})
+}
+
+func TestExampleSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cases := []struct {
+		path string
+		args []string
+		want string
+	}{
+		{"./examples/quickstart", nil, "virtual J90 time"},
+		{"./examples/antennapedia", []string{"-scale", "0.08"}, "idle spikes"},
+		{"./examples/middleware", nil, "accounting overhead"},
+		{"./examples/tcpcluster", nil, "remote servers"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.path, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			args := append([]string{"run", c.path}, c.args...)
+			out, err := exec.Command("go", args...).CombinedOutput()
+			if err != nil {
+				t.Fatalf("go run %s: %v\n%s", c.path, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("%s output missing %q:\n%s", c.path, c.want, out)
+			}
+		})
+	}
+}
