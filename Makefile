@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench cover fuzz figures clean
+.PHONY: all build test race bench bench-json check cover fuzz figures clean
 
 all: build test
 
@@ -12,10 +12,22 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/pvm/ ./internal/md/ ./internal/sciddle/ ./internal/decomp/
+	$(GO) test -race ./internal/pvm/ ./internal/md/ ./internal/sciddle/ ./internal/decomp/ \
+		./internal/parallel/ ./internal/harness/ ./internal/expdesign/
+
+# The full tier-1 gate: what CI runs.
+check:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/harness/... ./internal/pvm/...
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Snapshot the hot-path benchmarks into BENCH_<date>.json.
+bench-json:
+	$(GO) run ./cmd/benchjson -pkg . -bench .
 
 cover:
 	$(GO) test ./internal/... -cover

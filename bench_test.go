@@ -474,6 +474,64 @@ func BenchmarkPairEnergy(b *testing.B) {
 	}
 }
 
+// BenchmarkEvalListRow measures the batched row kernel over a realistic
+// pair list (the md.evalList hot path), with BenchmarkEvalListPerPair as
+// the historical per-pair baseline it replaced.
+func benchEvalListSetup(b *testing.B) (sys *molecule.System, l *pairlist.List, lj *forcefield.LJTable, grad []float64) {
+	b.Helper()
+	sys = benchSystem("medium")
+	owners := pairlist.Owners(sys.N, 1, pairlist.LCG, 1)
+	l = pairlist.NewList(sys.N, pairlist.RowsOf(owners, 0))
+	l.Update(sys.Pos, 10, nil)
+	lj = forcefield.BuildLJ(forcefield.DefaultLJ())
+	grad = make([]float64, 3*sys.N)
+	return sys, l, lj, grad
+}
+
+func BenchmarkEvalListRow(b *testing.B) {
+	sys, l, lj, grad := benchEvalListSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var evdw, ecoul float64
+	for i := 0; i < b.N; i++ {
+		evdw, ecoul = 0, 0
+		for r, at := range l.Rows {
+			row := l.Pairs[r]
+			if len(row) == 0 {
+				continue
+			}
+			c12Row, c6Row := lj.Row(sys.Type[at])
+			evdw, ecoul, _, _ = forcefield.PairEnergyRow(
+				sys.Pos, at, row, sys.Type, c12Row, c6Row,
+				sys.Charge[at], sys.Charge, grad, evdw, ecoul)
+		}
+	}
+	b.ReportMetric(float64(l.NActive), "pairs")
+}
+
+func BenchmarkEvalListPerPair(b *testing.B) {
+	sys, l, lj, grad := benchEvalListSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var evdw, ecoul float64
+	for i := 0; i < b.N; i++ {
+		evdw, ecoul = 0, 0
+		for r, at := range l.Rows {
+			qi := sys.Charge[at]
+			ti := sys.Type[at]
+			for _, j32 := range l.Pairs[r] {
+				j := int(j32)
+				c12, c6 := lj.Coeffs(ti, sys.Type[j])
+				qq := forcefield.CoulombK * qi * sys.Charge[j]
+				ev, ec := forcefield.PairEnergy(sys.Pos, at, j, c12, c6, qq, grad)
+				evdw += ev
+				ecoul += ec
+			}
+		}
+	}
+	b.ReportMetric(float64(l.NActive), "pairs")
+}
+
 // BenchmarkListUpdate measures the host cost of one full list rebuild.
 func BenchmarkListUpdate(b *testing.B) {
 	sys := benchSystem("medium")
@@ -487,21 +545,29 @@ func BenchmarkListUpdate(b *testing.B) {
 }
 
 // BenchmarkSimKernelMessaging measures the discrete-event kernel's
-// message throughput (host performance).
+// message throughput (host performance) in the steady-state request/reply
+// shape of the Sciddle phase protocol: both peers keep one buffer and
+// Reset it per exchange, so the per-roundtrip path — pack, send, receive,
+// unpack — runs without heap allocation.
 func BenchmarkSimKernelMessaging(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sim := pvm.NewSimVM(platform.FastCoPs(), nil)
 		sim.SpawnRoot("a", func(t pvm.Task) {
 			tids := t.Spawn("b", 1, func(s pvm.Task) {
+				rep := pvm.NewBuffer()
 				for k := 0; k < 100; k++ {
 					buf, src, tag := s.Recv(pvm.AnySrc, pvm.AnyTag)
-					s.Send(src, tag, buf)
+					s.Send(src, tag, rep.Reset().PackInt(buf.MustInt()))
 				}
 			})
+			req := pvm.NewBuffer()
 			for k := 0; k < 100; k++ {
-				t.Send(tids[0], 1, pvm.NewBuffer().PackInt(k))
-				t.Recv(tids[0], 1)
+				t.Send(tids[0], 1, req.Reset().PackInt(k))
+				buf, _, _ := t.Recv(tids[0], 1)
+				if got := buf.MustInt(); got != k {
+					panic("bad echo")
+				}
 			}
 		})
 		if err := sim.Run(); err != nil {
@@ -549,6 +615,7 @@ func BenchmarkBreakdownAggregation(b *testing.B) {
 			rec.Segment(p, "x", 1, t0+0.004, t0+0.006)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		trace.ComputeBreakdown(rec, 0, []int{1, 2, 3, 4, 5, 6, 7}, 5)

@@ -1,0 +1,182 @@
+// Command benchjson runs the repository's hot-path benchmarks and writes
+// a machine-readable snapshot (ns/op, B/op, allocs/op per benchmark) to a
+// BENCH_<date>.json file, so performance PRs can record before/after
+// numbers next to the code they change.
+//
+// Examples:
+//
+//	benchjson                          # run and write BENCH_<today>.json
+//	benchjson -out bench.json          # explicit output file
+//	benchjson -bench 'PairEnergy'      # subset, standard -bench syntax
+//	go test -bench=. -benchmem . | benchjson -parse   # parse existing output
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   int64   `json:"b_per_op,omitempty"`
+	AllocsOp int64   `json:"allocs_per_op,omitempty"`
+	// Extra holds custom metrics (e.g. pairs/op) keyed by unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Snapshot is the written file.
+type Snapshot struct {
+	Date    string   `json:"date"`
+	GoOS    string   `json:"goos,omitempty"`
+	GoArch  string   `json:"goarch,omitempty"`
+	Package string   `json:"package,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// benchLine matches `BenchmarkX-8  	 1000	 123.4 ns/op	 56 B/op	 7 allocs/op	 8 pairs/op`.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+
+func main() {
+	var (
+		out   = flag.String("out", "", "output file (default BENCH_<date>.json)")
+		bench = flag.String("bench", ".", "benchmark selection pattern")
+		pkg   = flag.String("pkg", ".", "package to benchmark")
+		parse = flag.Bool("parse", false, "parse `go test -bench` output from stdin instead of running")
+		count = flag.Int("count", 1, "benchmark repetitions (best ns/op per name is kept)")
+	)
+	flag.Parse()
+
+	var r io.Reader
+	snap := Snapshot{Date: time.Now().Format("2006-01-02"), Package: *pkg}
+	if *parse {
+		r = os.Stdin
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$",
+			"-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count), *pkg)
+		cmd.Stderr = os.Stderr
+		outPipe, err := cmd.StdoutPipe()
+		if err != nil {
+			fatal(err)
+		}
+		if err := cmd.Start(); err != nil {
+			fatal(err)
+		}
+		var sb strings.Builder
+		if _, err := io.Copy(io.MultiWriter(&sb, os.Stdout), outPipe); err != nil {
+			fatal(err)
+		}
+		if err := cmd.Wait(); err != nil {
+			fatal(fmt.Errorf("go test: %w", err))
+		}
+		r = strings.NewReader(sb.String())
+	}
+
+	results, meta := Parse(r)
+	snap.GoOS, snap.GoArch = meta.goos, meta.goarch
+	snap.Results = results
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + snap.Date + ".json"
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: wrote", path)
+}
+
+type meta struct{ goos, goarch string }
+
+// Parse reads `go test -bench` output.  With -count > 1 the fastest
+// ns/op line per benchmark name wins (the usual best-of policy for
+// noise-prone shared hosts).
+func Parse(r io.Reader) ([]Result, meta) {
+	var m meta
+	best := map[string]Result{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if v, ok := strings.CutPrefix(line, "goos: "); ok {
+			m.goos = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+			m.goarch = v
+			continue
+		}
+		match := benchLine.FindStringSubmatch(line)
+		if match == nil {
+			continue
+		}
+		res := Result{Name: trimProcSuffix(match[1])}
+		res.Iters, _ = strconv.ParseInt(match[2], 10, 64)
+		fields := strings.Fields(match[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				res.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				res.BPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				res.AllocsOp, _ = strconv.ParseInt(val, 10, 64)
+			default:
+				f, err := strconv.ParseFloat(val, 64)
+				if err == nil {
+					if res.Extra == nil {
+						res.Extra = map[string]float64{}
+					}
+					res.Extra[unit] = f
+				}
+			}
+		}
+		prev, seen := best[res.Name]
+		if !seen {
+			order = append(order, res.Name)
+		}
+		if !seen || res.NsPerOp < prev.NsPerOp {
+			best[res.Name] = res
+		}
+	}
+	out := make([]Result, len(order))
+	for i, name := range order {
+		out[i] = best[name]
+	}
+	return out, m
+}
+
+// trimProcSuffix drops the -<GOMAXPROCS> suffix go test appends.
+func trimProcSuffix(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

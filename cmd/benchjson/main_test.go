@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: opalperf
+BenchmarkPairEnergy-8       	159105000	         7.367 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEvalListRow-8      	      1129	   1040584 ns/op	  125160 pairs	       0 B/op	       0 allocs/op
+BenchmarkSimKernelMessaging-8	      5288	    224313 ns/op	    2976 B/op	      38 allocs/op
+BenchmarkSimKernelMessaging-8	      5402	    220000 ns/op	    2976 B/op	      38 allocs/op
+PASS
+ok  	opalperf	12.3s
+`
+
+func TestParse(t *testing.T) {
+	results, m := Parse(strings.NewReader(sampleOutput))
+	if m.goos != "linux" || m.goarch != "amd64" {
+		t.Errorf("meta = %+v", m)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3 (repeats collapsed)", len(results))
+	}
+	pe := results[0]
+	if pe.Name != "BenchmarkPairEnergy" || pe.NsPerOp != 7.367 || pe.AllocsOp != 0 {
+		t.Errorf("pair energy = %+v", pe)
+	}
+	if results[1].Name != "BenchmarkEvalListRow" {
+		t.Errorf("order not preserved: %+v", results[1])
+	}
+	msg := results[2]
+	if msg.NsPerOp != 220000 {
+		t.Errorf("best-of not kept: ns/op = %v", msg.NsPerOp)
+	}
+	if msg.BPerOp != 2976 || msg.AllocsOp != 38 {
+		t.Errorf("mem stats = %+v", msg)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	results, _ := Parse(strings.NewReader("PASS\nok x 1s\n"))
+	if len(results) != 0 {
+		t.Errorf("results = %+v", results)
+	}
+}
+
+func TestTrimProcSuffix(t *testing.T) {
+	if got := trimProcSuffix("BenchmarkX-8"); got != "BenchmarkX" {
+		t.Errorf("got %q", got)
+	}
+	if got := trimProcSuffix("BenchmarkX"); got != "BenchmarkX" {
+		t.Errorf("got %q", got)
+	}
+	if got := trimProcSuffix("BenchmarkA-b"); got != "BenchmarkA-b" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"opalperf/internal/harness"
+	"opalperf/internal/parallel"
 )
 
 func main() {
@@ -24,8 +25,10 @@ func main() {
 		scale   = flag.Float64("scale", 0.25, "problem size scale factor (1 = paper sizes)")
 		steps   = flag.Int("steps", 10, "simulation steps per case")
 		effects = flag.Bool("effects", false, "run the 2^4 effect analysis (Jain ch. 17)")
+		jobs    = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*jobs)
 
 	suite := harness.NewSuite(harness.Sizes(*scale))
 	suite.Steps = *steps

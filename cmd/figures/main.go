@@ -20,6 +20,7 @@ import (
 
 	"opalperf/internal/harness"
 	"opalperf/internal/molecule"
+	"opalperf/internal/parallel"
 	"opalperf/internal/platform"
 	"opalperf/internal/report"
 )
@@ -31,8 +32,10 @@ func main() {
 		steps  = flag.Int("steps", 10, "simulation steps")
 		maxP   = flag.Int("maxp", 7, "maximum number of servers")
 		only   = flag.String("only", "", "comma-separated subset: fig1..fig6, table1, table2, mem, space")
+		jobs   = flag.Int("jobs", 0, "concurrent simulations (0 = GOMAXPROCS); outputs are identical for any value")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*jobs)
 
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fatal(err)

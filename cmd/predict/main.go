@@ -20,6 +20,7 @@ import (
 	"opalperf/internal/core"
 
 	"opalperf/internal/harness"
+	"opalperf/internal/parallel"
 	"opalperf/internal/platform"
 	"opalperf/internal/report"
 )
@@ -35,8 +36,10 @@ func main() {
 		scale    = flag.Float64("scale", 0.25, "problem scale for -validate runs")
 		cost     = flag.Bool("cost", false, "rank platforms by 1998 price x predicted time")
 		whatif   = flag.Bool("whatif", false, "the Section 4.1 what-if: the J90 with a zero-copy MPI rewrite")
+		jobs     = flag.Int("jobs", 0, "concurrent simulations for -validate (0 = GOMAXPROCS); results are identical for any value")
 	)
 	flag.Parse()
+	parallel.SetWorkers(*jobs)
 
 	sys := harness.Sizes(1)[*size]
 	if sys == nil {

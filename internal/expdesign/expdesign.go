@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"opalperf/internal/parallel"
 )
 
 // Factor is one experimental factor with its levels.
@@ -136,6 +138,20 @@ func RunAll(cases []Case, run Runner) ([]Record, error) {
 		out = append(out, Record{Case: c, Responses: resp})
 	}
 	return out, nil
+}
+
+// RunAllParallel executes the cases concurrently on the default worker
+// pool and returns the records in case order, identical to RunAll.  run
+// must be safe to call concurrently.  On failure it returns the error of
+// the lowest-indexed failing case it observed.
+func RunAllParallel(cases []Case, run Runner) ([]Record, error) {
+	return parallel.Map(cases, func(i int, c Case) (Record, error) {
+		resp, err := run(c)
+		if err != nil {
+			return Record{}, fmt.Errorf("expdesign: case %d: %w", i, err)
+		}
+		return Record{Case: c, Responses: resp}, nil
+	})
 }
 
 // ResponseNames returns the union of response names over records, sorted.

@@ -100,6 +100,15 @@ func (t *LJTable) Coeffs(ti, tj int) (c12, c6 float64) {
 	return t.C12[ti*t.NTypes+tj], t.C6[ti*t.NTypes+tj]
 }
 
+// Row returns the flat coefficient rows for type ti, indexed by partner
+// type: c12Row[tj] == Coeffs(ti, tj).  Batched kernels hoist this one
+// bounds-checked slice per pair-list row instead of paying the i*NTypes+j
+// indexing on every pair.
+func (t *LJTable) Row(ti int) (c12Row, c6Row []float64) {
+	lo, hi := ti*t.NTypes, (ti+1)*t.NTypes
+	return t.C12[lo:hi:hi], t.C6[lo:hi:hi]
+}
+
 // PairEnergy evaluates the non-bonded interaction of mass centers i and j:
 // van der Waals C12/r^12 - C6/r^6 plus Coulomb qq/r.  It adds dV/dr to
 // grad (treated as the gradient accumulator; forces are its negation) and
@@ -132,6 +141,57 @@ func PairEnergy(pos []float64, i, j int, c12, c6, qq float64, grad []float64) (e
 	grad[3*j+1] -= gy
 	grad[3*j+2] -= gz
 	return evdw, ecoul
+}
+
+// PairEnergyRow evaluates one pair-list row: mass center i against every
+// partner in js, with the flat per-type coefficient rows of LJTable.Row
+// replacing the per-pair Coeffs lookup.  It accumulates dV/dr into grad
+// and threads the energy accumulators through (evdw0/ecoul0 in, updated
+// sums out) so that the floating-point operation order — including the
+// order of the energy summation — is bit-for-bit identical to calling
+// PairEnergy once per pair the way md.evalList historically did.  The
+// charged/plain pair split is returned for flop accounting.
+func PairEnergyRow(pos []float64, i int, js []int32, types []int, c12Row, c6Row []float64, qi float64, charges, grad []float64, evdw0, ecoul0 float64) (evdw, ecoul float64, nCharged, nPlain int) {
+	evdw, ecoul = evdw0, ecoul0
+	xi := pos[3*i]
+	yi := pos[3*i+1]
+	zi := pos[3*i+2]
+	// CoulombK*qi*charges[j] associates as (CoulombK*qi)*charges[j], so
+	// hoisting the first product preserves every bit.
+	qk := CoulombK * qi
+	gi := grad[3*i : 3*i+3 : 3*i+3]
+	for _, j32 := range js {
+		j := int(j32)
+		c12 := c12Row[types[j]]
+		c6 := c6Row[types[j]]
+		qq := qk * charges[j]
+		dx := xi - pos[3*j]
+		dy := yi - pos[3*j+1]
+		dz := zi - pos[3*j+2]
+		r2 := dx*dx + dy*dy + dz*dz
+		inv2 := 1 / r2
+		inv6 := inv2 * inv2 * inv2
+		inv12 := inv6 * inv6
+		ev := c12*inv12 - c6*inv6
+		g := (-12*c12*inv12 + 6*c6*inv6) * inv2
+		if qq != 0 {
+			rinv := math.Sqrt(inv2)
+			ecoul += qq * rinv
+			g -= qq * rinv * inv2
+			nCharged++
+		} else {
+			nPlain++
+		}
+		evdw += ev
+		gx, gy, gz := g*dx, g*dy, g*dz
+		gi[0] += gx
+		gi[1] += gy
+		gi[2] += gz
+		grad[3*j] -= gx
+		grad[3*j+1] -= gy
+		grad[3*j+2] -= gz
+	}
+	return evdw, ecoul, nCharged, nPlain
 }
 
 // Dist2 returns the squared distance between mass centers i and j.

@@ -1,0 +1,162 @@
+package forcefield
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomRowSystem builds a random mass-center system plus one pair-list
+// row: positions, per-type LJ coefficients, charges (a fraction zeroed to
+// exercise the cheap uncharged branch) and a partner set for atom i.
+func randomRowSystem(rng *rand.Rand, n int) (pos []float64, types []int, charges []float64, lj *LJTable, i int, js []int32) {
+	lj = BuildLJ(DefaultLJ())
+	pos = make([]float64, 3*n)
+	types = make([]int, n)
+	charges = make([]float64, n)
+	for k := 0; k < n; k++ {
+		pos[3*k] = 50 * rng.Float64()
+		pos[3*k+1] = 50 * rng.Float64()
+		pos[3*k+2] = 50 * rng.Float64()
+		types[k] = rng.Intn(lj.NTypes)
+		if rng.Float64() < 0.6 {
+			charges[k] = 2*rng.Float64() - 1
+		}
+	}
+	i = rng.Intn(n)
+	for k := i + 1; k < n; k++ {
+		if rng.Float64() < 0.5 {
+			js = append(js, int32(k))
+		}
+	}
+	return pos, types, charges, lj, i, js
+}
+
+// scalarRow is the historical per-pair evaluation path of md.evalList:
+// a Coeffs lookup and one PairEnergy call per partner.
+func scalarRow(pos []float64, i int, js []int32, types []int, lj *LJTable, charges, grad []float64) (evdw, ecoul float64, nCharged, nPlain int) {
+	qi := charges[i]
+	ti := types[i]
+	for _, j32 := range js {
+		j := int(j32)
+		c12, c6 := lj.Coeffs(ti, types[j])
+		qq := CoulombK * qi * charges[j]
+		ev, ec := PairEnergy(pos, i, j, c12, c6, qq, grad)
+		evdw += ev
+		ecoul += ec
+		if qq != 0 {
+			nCharged++
+		} else {
+			nPlain++
+		}
+	}
+	return evdw, ecoul, nCharged, nPlain
+}
+
+func assertRowMatchesScalar(t *testing.T, pos []float64, i int, js []int32, types []int, lj *LJTable, charges []float64) {
+	t.Helper()
+	n := len(types)
+	gradS := make([]float64, 3*n)
+	gradR := make([]float64, 3*n)
+	evS, ecS, ncS, npS := scalarRow(pos, i, js, types, lj, charges, gradS)
+	c12Row, c6Row := lj.Row(types[i])
+	evR, ecR, ncR, npR := PairEnergyRow(pos, i, js, types, c12Row, c6Row, charges[i], charges, gradR, 0, 0)
+	if math.Float64bits(evS) != math.Float64bits(evR) {
+		t.Fatalf("evdw differs: scalar %x (%v), row %x (%v)",
+			math.Float64bits(evS), evS, math.Float64bits(evR), evR)
+	}
+	if math.Float64bits(ecS) != math.Float64bits(ecR) {
+		t.Fatalf("ecoul differs: scalar %x (%v), row %x (%v)",
+			math.Float64bits(ecS), ecS, math.Float64bits(ecR), ecR)
+	}
+	if ncS != ncR || npS != npR {
+		t.Fatalf("flop accounting differs: scalar (%d charged, %d plain), row (%d, %d)", ncS, npS, ncR, npR)
+	}
+	for k := range gradS {
+		if math.Float64bits(gradS[k]) != math.Float64bits(gradR[k]) {
+			t.Fatalf("grad[%d] differs: scalar %x (%v), row %x (%v)",
+				k, math.Float64bits(gradS[k]), gradS[k], math.Float64bits(gradR[k]), gradR[k])
+		}
+	}
+}
+
+// TestPairEnergyRowMatchesScalar is the property test of the batched
+// kernel: over many random systems the row evaluation must match the
+// per-pair path bit-for-bit in energies, gradient and pair accounting.
+func TestPairEnergyRowMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1998))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(60)
+		pos, types, charges, lj, i, js := randomRowSystem(rng, n)
+		assertRowMatchesScalar(t, pos, i, js, types, lj, charges)
+	}
+}
+
+// TestPairEnergyRowAccumulators checks the accumulator threading: seeding
+// the row kernel with prior sums must behave exactly like continuing the
+// scalar += loop from those sums.
+func TestPairEnergyRowAccumulators(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	pos, types, charges, lj, i, js := randomRowSystem(rng, 40)
+	n := len(types)
+
+	gradS := make([]float64, 3*n)
+	evS, ecS := 1.25, -3.5
+	ev, ec, _, _ := scalarRow(pos, i, js, types, lj, charges, gradS)
+	_ = ev
+	_ = ec
+	// Continue the scalar accumulation by hand, in pair order.
+	evS2, ecS2 := evS, ecS
+	gradS2 := make([]float64, 3*n)
+	qi := charges[i]
+	ti := types[i]
+	for _, j32 := range js {
+		j := int(j32)
+		c12, c6 := lj.Coeffs(ti, types[j])
+		qq := CoulombK * qi * charges[j]
+		e1, e2 := PairEnergy(pos, i, j, c12, c6, qq, gradS2)
+		evS2 += e1
+		ecS2 += e2
+	}
+
+	gradR := make([]float64, 3*n)
+	c12Row, c6Row := lj.Row(types[i])
+	evR, ecR, _, _ := PairEnergyRow(pos, i, js, types, c12Row, c6Row, charges[i], charges, gradR, evS, ecS)
+	if math.Float64bits(evS2) != math.Float64bits(evR) || math.Float64bits(ecS2) != math.Float64bits(ecR) {
+		t.Fatalf("seeded accumulators differ: scalar (%v, %v), row (%v, %v)", evS2, ecS2, evR, ecR)
+	}
+	for k := range gradS2 {
+		if math.Float64bits(gradS2[k]) != math.Float64bits(gradR[k]) {
+			t.Fatalf("grad[%d] differs under seeding", k)
+		}
+	}
+}
+
+func TestLJTableRow(t *testing.T) {
+	lj := BuildLJ(DefaultLJ())
+	for ti := 0; ti < lj.NTypes; ti++ {
+		c12Row, c6Row := lj.Row(ti)
+		if len(c12Row) != lj.NTypes || len(c6Row) != lj.NTypes {
+			t.Fatalf("Row(%d) lengths %d/%d, want %d", ti, len(c12Row), len(c6Row), lj.NTypes)
+		}
+		for tj := 0; tj < lj.NTypes; tj++ {
+			c12, c6 := lj.Coeffs(ti, tj)
+			if c12Row[tj] != c12 || c6Row[tj] != c6 {
+				t.Fatalf("Row(%d)[%d] = (%v, %v), Coeffs = (%v, %v)", ti, tj, c12Row[tj], c6Row[tj], c12, c6)
+			}
+		}
+	}
+}
+
+// FuzzPairEnergyRow drives the equivalence property from fuzzed seeds.
+func FuzzPairEnergyRow(f *testing.F) {
+	f.Add(int64(1), uint8(8))
+	f.Add(int64(77), uint8(33))
+	f.Add(int64(-19), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint8) {
+		n := 2 + int(nRaw)%63
+		rng := rand.New(rand.NewSource(seed))
+		pos, types, charges, lj, i, js := randomRowSystem(rng, n)
+		assertRowMatchesScalar(t, pos, i, js, types, lj, charges)
+	})
+}

@@ -123,15 +123,25 @@ func (s Suite) Measure(c expdesign.Case) (core.Measurement, RunOutcome, error) {
 	return MeasurementOf(spec, out), out, nil
 }
 
-// MeasureAll runs a set of cases.
+// MeasureAll runs a set of cases concurrently on the default pool and
+// returns the measurements in case order, exactly as the sequential loop
+// would.
 func (s Suite) MeasureAll(cases []expdesign.Case) ([]core.Measurement, error) {
-	ms := make([]core.Measurement, 0, len(cases))
-	for _, c := range cases {
-		m, _, err := s.Measure(c)
+	specs := make([]RunSpec, len(cases))
+	for i, c := range cases {
+		spec, err := s.SpecFor(c)
 		if err != nil {
 			return nil, err
 		}
-		ms = append(ms, m)
+		specs[i] = spec
+	}
+	outs, err := RunMany(specs)
+	if err != nil {
+		return nil, err
+	}
+	ms := make([]core.Measurement, len(cases))
+	for i, out := range outs {
+		ms[i] = MeasurementOf(specs[i], out)
 	}
 	return ms, nil
 }

@@ -25,7 +25,7 @@ func (s Suite) EffectsDesign() ([]expdesign.Factor, []expdesign.Case) {
 // the wall clock and each time component.
 func (s Suite) MeasureEffects() (map[string]*expdesign.Analysis, error) {
 	factors, cases := s.EffectsDesign()
-	recs, err := expdesign.RunAll(cases, func(c expdesign.Case) (map[string]float64, error) {
+	recs, err := expdesign.RunAllParallel(cases, func(c expdesign.Case) (map[string]float64, error) {
 		spec, err := s.SpecFor(c)
 		if err != nil {
 			return nil, err

@@ -8,6 +8,7 @@ import (
 	"opalperf/internal/core"
 	"opalperf/internal/md"
 	"opalperf/internal/molecule"
+	"opalperf/internal/parallel"
 	"opalperf/internal/platform"
 	"opalperf/internal/report"
 	"opalperf/internal/trace"
@@ -22,12 +23,12 @@ type BreakdownPanel struct {
 	Breakdowns []trace.Breakdown
 }
 
-// MeasureBreakdownPanel runs the instrumented Opal for servers 1..maxP.
-func MeasureBreakdownPanel(pl *platform.Platform, sys *molecule.System,
-	cutoff float64, updateEvery, maxP, steps int, label string) (BreakdownPanel, error) {
-	panel := BreakdownPanel{Label: label}
+// breakdownSpecs builds the specs for servers 1..maxP of one panel.
+func breakdownSpecs(pl *platform.Platform, sys *molecule.System,
+	cutoff float64, updateEvery, maxP, steps int) []RunSpec {
+	specs := make([]RunSpec, maxP)
 	for p := 1; p <= maxP; p++ {
-		out, err := Run(RunSpec{
+		specs[p-1] = RunSpec{
 			Platform: pl,
 			Sys:      sys,
 			Opts: md.Options{
@@ -36,11 +37,23 @@ func MeasureBreakdownPanel(pl *platform.Platform, sys *molecule.System,
 			},
 			Servers: p,
 			Steps:   steps,
-		})
-		if err != nil {
-			return panel, err
 		}
-		panel.Servers = append(panel.Servers, p)
+	}
+	return specs
+}
+
+// MeasureBreakdownPanel runs the instrumented Opal for servers 1..maxP.
+// The runs execute concurrently on the default pool; the panel is
+// identical to the sequential loop.
+func MeasureBreakdownPanel(pl *platform.Platform, sys *molecule.System,
+	cutoff float64, updateEvery, maxP, steps int, label string) (BreakdownPanel, error) {
+	panel := BreakdownPanel{Label: label}
+	outs, err := RunMany(breakdownSpecs(pl, sys, cutoff, updateEvery, maxP, steps))
+	if err != nil {
+		return panel, err
+	}
+	for i, out := range outs {
+		panel.Servers = append(panel.Servers, i+1)
 		panel.Breakdowns = append(panel.Breakdowns, out.Breakdown)
 	}
 	return panel, nil
@@ -89,12 +102,24 @@ func FigureBreakdowns(pl *platform.Platform, sys *molecule.System, maxP, steps i
 		{EffectiveCutoff, 1, "c) cut-off 10A, full update"},
 		{EffectiveCutoff, 10, "d) cut-off 10A, partial update"},
 	}
-	var panels []BreakdownPanel
+	// Flatten the configs x servers grid into one spec list so the pool
+	// stays saturated across panel boundaries.
+	var specs []RunSpec
 	for _, cfg := range configs {
-		panel, err := MeasureBreakdownPanel(pl, sys, cfg.cutoff, cfg.update, maxP, steps,
-			fmt.Sprintf("%s — %s, %d steps", cfg.label, sys.Name, steps))
-		if err != nil {
-			return nil, err
+		specs = append(specs, breakdownSpecs(pl, sys, cfg.cutoff, cfg.update, maxP, steps)...)
+	}
+	outs, err := RunMany(specs)
+	if err != nil {
+		return nil, err
+	}
+	var panels []BreakdownPanel
+	for ci, cfg := range configs {
+		panel := BreakdownPanel{
+			Label: fmt.Sprintf("%s — %s, %d steps", cfg.label, sys.Name, steps),
+		}
+		for p := 1; p <= maxP; p++ {
+			panel.Servers = append(panel.Servers, p)
+			panel.Breakdowns = append(panel.Breakdowns, outs[ci*maxP+p-1].Breakdown)
 		}
 		panels = append(panels, panel)
 	}
@@ -115,8 +140,7 @@ type PredictionSeries struct {
 // platforms' key technical data (Section 4.1).
 func PredictFigure(pls []*platform.Platform, sys *molecule.System,
 	cutoff float64, updateEvery, steps, maxP int) []PredictionSeries {
-	var out []PredictionSeries
-	for _, pl := range pls {
+	out, _ := parallel.Map(pls, func(_ int, pl *platform.Platform) (PredictionSeries, error) {
 		mach := core.MachineFor(pl, sys.Gamma())
 		ps := PredictionSeries{Platform: pl.Name}
 		var t1 float64
@@ -129,8 +153,8 @@ func PredictFigure(pls []*platform.Platform, sys *molecule.System,
 			ps.Times = append(ps.Times, t)
 			ps.Speedups = append(ps.Speedups, t1/t)
 		}
-		out = append(out, ps)
-	}
+		return ps, nil
+	})
 	return out
 }
 

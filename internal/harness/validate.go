@@ -6,6 +6,7 @@ import (
 	"opalperf/internal/core"
 	"opalperf/internal/md"
 	"opalperf/internal/molecule"
+	"opalperf/internal/parallel"
 	"opalperf/internal/platform"
 	"opalperf/internal/pvm"
 	"opalperf/internal/report"
@@ -38,32 +39,46 @@ func (v ValidationCase) RelErr() float64 {
 // counts and compares with the model prediction.
 func ValidatePrediction(pls []*platform.Platform, sys *molecule.System,
 	cutoff float64, updateEvery, steps int, servers []int) ([]ValidationCase, error) {
-	var out []ValidationCase
+	// Flatten the platforms x servers grid so the pool runs every
+	// simulation concurrently; results come back in the same order the
+	// sequential nested loop produced.
+	type cell struct {
+		pl *platform.Platform
+		p  int
+	}
+	var grid []cell
 	for _, pl := range pls {
-		mach := core.MachineFor(pl, sys.Gamma())
 		for _, p := range servers {
-			spec := RunSpec{
-				Platform: pl,
-				Sys:      sys,
-				Opts: md.Options{
-					Cutoff: cutoff, UpdateEvery: updateEvery,
-					Accounting: true, Minimize: true,
-				},
-				Servers: p,
-				Steps:   steps,
-			}
-			run, err := Run(spec)
-			if err != nil {
-				return nil, err
-			}
-			app := core.AppFor(sys, cutoff, updateEvery, p, steps)
-			out = append(out, ValidationCase{
-				Platform:  pl.Name,
-				Servers:   p,
-				Cutoff:    app.Cutoff,
-				Simulated: run.Wall,
-				Predicted: mach.Total(app),
-			})
+			grid = append(grid, cell{pl, p})
+		}
+	}
+	specs := make([]RunSpec, len(grid))
+	for i, g := range grid {
+		specs[i] = RunSpec{
+			Platform: g.pl,
+			Sys:      sys,
+			Opts: md.Options{
+				Cutoff: cutoff, UpdateEvery: updateEvery,
+				Accounting: true, Minimize: true,
+			},
+			Servers: g.p,
+			Steps:   steps,
+		}
+	}
+	outs, err := RunMany(specs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ValidationCase, len(grid))
+	for i, g := range grid {
+		mach := core.MachineFor(g.pl, sys.Gamma())
+		app := core.AppFor(sys, cutoff, updateEvery, g.p, steps)
+		out[i] = ValidationCase{
+			Platform:  g.pl.Name,
+			Servers:   g.p,
+			Cutoff:    app.Cutoff,
+			Simulated: outs[i].Wall,
+			Predicted: mach.Total(app),
 		}
 	}
 	return out, nil
@@ -120,24 +135,29 @@ func ClusterReport(spec platform.ClusterSpec, sys *molecule.System,
 		Headers: []string{"servers", "nodes used", "single-node[s]", "cluster[s]"},
 	}
 	single := platform.J90()
-	for _, p := range serverCounts {
+	type row struct{ singleWall, clusterWall string }
+	rows, err := parallel.Map(serverCounts, func(_ int, p int) (row, error) {
 		opts := md.Options{Cutoff: cutoff, Accounting: true, Minimize: true}
 		cl, err := ClusterRun(spec, sys, opts, p, steps)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
-		var singleWall string
+		singleWall := "n/a (too few cpus)"
 		if p < single.MaxProcs {
 			out, err := Run(RunSpec{Platform: single, Sys: sys, Opts: opts, Servers: p, Steps: steps})
 			if err != nil {
-				return nil, err
+				return row{}, err
 			}
 			singleWall = fmt.Sprintf("%.3f", out.Wall)
-		} else {
-			singleWall = "n/a (too few cpus)"
 		}
+		return row{singleWall, fmt.Sprintf("%.3f", cl.Wall)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range serverCounts {
 		nodes := (p + 1 + spec.ProcsPerNode - 1) / spec.ProcsPerNode
-		t.AddRow(fmt.Sprint(p), fmt.Sprint(nodes), singleWall, fmt.Sprintf("%.3f", cl.Wall))
+		t.AddRow(fmt.Sprint(p), fmt.Sprint(nodes), rows[i].singleWall, rows[i].clusterWall)
 	}
 	return t, nil
 }

@@ -1,0 +1,66 @@
+package md
+
+import (
+	"testing"
+
+	"opalperf/internal/molecule"
+	"opalperf/internal/pairlist"
+)
+
+// Steady-state allocation regression tests: the per-step force path —
+// the row kernel over the pair list and the cell-list rebuild — must not
+// touch the heap once the scratch storage has been grown by the first
+// step.
+
+func allocTestSystem() (*molecule.System, *nbData, *pairlist.List, []float64, []float64) {
+	sys := molecule.Generate(molecule.Config{
+		Name: "alloc", SoluteAtoms: 40, Waters: 120, Seed: 11, Interleave: true,
+	})
+	d := newNBData(sys, 10)
+	owners := pairlist.Owners(sys.N, 1, pairlist.LCG, 1)
+	list := pairlist.NewList(sys.N, pairlist.RowsOf(owners, 0))
+	pos := append([]float64(nil), sys.Pos...)
+	grad := make([]float64, 3*sys.N)
+	return sys, d, list, pos, grad
+}
+
+func TestEvalListZeroAlloc(t *testing.T) {
+	_, d, list, pos, grad := allocTestSystem()
+	list.Update(pos, d.cutoff, d.excl)
+	if list.NActive == 0 {
+		t.Fatal("empty pair list, test is vacuous")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		for i := range grad {
+			grad[i] = 0
+		}
+		d.evalList(pos, list, grad)
+	})
+	if allocs != 0 {
+		t.Errorf("evalList allocates %.1f objects per step, want 0", allocs)
+	}
+}
+
+func TestListUpdateZeroAlloc(t *testing.T) {
+	_, d, list, pos, _ := allocTestSystem()
+	// First rebuild grows the per-row partner storage; steady-state
+	// rebuilds must reuse it.
+	list.Update(pos, d.cutoff, d.excl)
+	allocs := testing.AllocsPerRun(20, func() {
+		list.Update(pos, d.cutoff, d.excl)
+	})
+	if allocs != 0 {
+		t.Errorf("Update allocates %.1f objects per rebuild, want 0", allocs)
+	}
+}
+
+func TestListUpdateCellsZeroAlloc(t *testing.T) {
+	sys, d, list, pos, _ := allocTestSystem()
+	list.UpdateCells(pos, d.cutoff, sys.Box, d.excl)
+	allocs := testing.AllocsPerRun(20, func() {
+		list.UpdateCells(pos, d.cutoff, sys.Box, d.excl)
+	})
+	if allocs != 0 {
+		t.Errorf("UpdateCells allocates %.1f objects per rebuild, want 0", allocs)
+	}
+}

@@ -175,26 +175,22 @@ func (d *nbData) bytes() int {
 // full Lennard-Jones + Coulomb evaluation; pairs involving an uncharged
 // single-unit water skip the Coulomb square root and are cheaper.
 func (d *nbData) evalList(pos []float64, list *pairlist.List, grad []float64) (evdw, ecoul float64, ops hpm.Ops, npairs int) {
-	var nCharged, nPlain float64
+	var nCharged, nPlain int
 	for r, i := range list.Rows {
-		qi := d.charges[i]
-		ti := d.types[i]
-		for _, j32 := range list.Pairs[r] {
-			j := int(j32)
-			c12, c6 := d.lj.Coeffs(ti, d.types[j])
-			qq := forcefield.CoulombK * qi * d.charges[j]
-			ev, ec := forcefield.PairEnergy(pos, i, j, c12, c6, qq, grad)
-			evdw += ev
-			ecoul += ec
-			if qq != 0 {
-				nCharged++
-			} else {
-				nPlain++
-			}
+		row := list.Pairs[r]
+		if len(row) == 0 {
+			continue
 		}
+		c12Row, c6Row := d.lj.Row(d.types[i])
+		var nc, np int
+		evdw, ecoul, nc, np = forcefield.PairEnergyRow(
+			pos, i, row, d.types, c12Row, c6Row,
+			d.charges[i], d.charges, grad, evdw, ecoul)
+		nCharged += nc
+		nPlain += np
 	}
-	ops = forcefield.PairEnergyOps.Times(nCharged).
-		Plus(forcefield.PairEnergyLJOps.Times(nPlain))
+	ops = forcefield.PairEnergyOps.Times(float64(nCharged)).
+		Plus(forcefield.PairEnergyLJOps.Times(float64(nPlain)))
 	return evdw, ecoul, ops, list.NActive
 }
 

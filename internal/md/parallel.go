@@ -61,39 +61,42 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 	c := newClientState(sys, opts)
 	grad := make([]float64, 3*sys.N)
 	t.SetWorkingSet(8 * 3 * sys.N * 4)
+	// Steady-state reply slots and argument packers, kept across steps so
+	// the per-step phases run without heap allocation (request buffers are
+	// connection-owned, replies unpack in place into these slots).
+	updateReps := make([]opalrpc.OpalUpdateReply, nservers)
+	nbintReps := make([]opalrpc.OpalNbintReply, nservers)
+	packUpdate := func(i int, args *pvm.Buffer) { opalrpc.PackOpalUpdateArgsInto(args, c.pos) }
+	packNbint := func(i int, args *pvm.Buffer) { opalrpc.PackOpalNbintArgsInto(args, c.pos) }
 	for step := 0; step < steps; step++ {
 		info := StepInfo{}
 		if step%opts.UpdateEvery == 0 {
 			// Update phase: ship coordinates, servers rebuild their
 			// lists; the reply carries no data beyond the completion
 			// signal (eq. 8 of the model).
-			reps := client.UpdatePhase(func(i int) *pvm.Buffer {
-				return opalrpc.PackOpalUpdateArgs(c.pos)
-			})
-			for _, r := range reps {
+			client.UpdatePhaseInto(packUpdate, updateReps)
+			for _, r := range updateReps {
 				info.PairChecks += r.Checks
 			}
 			info.Updated = true
 		}
 		// Energy evaluation phase: coordinates out, partial energies and
 		// gradients back (eqs. 7 and 9).
-		reps := client.NbintPhase(func(i int) *pvm.Buffer {
-			return opalrpc.PackOpalNbintArgs(c.pos)
-		})
+		client.NbintPhaseInto(packNbint, nbintReps)
 		for i := range grad {
 			grad[i] = 0
 		}
 		var evdw, ecoul float64
-		for _, r := range reps {
-			evdw += r.Evdw
-			ecoul += r.Ecoul
-			info.ActivePairs += r.Npairs
-			for i, g := range r.Grad {
+		for r := range nbintReps {
+			evdw += nbintReps[r].Evdw
+			ecoul += nbintReps[r].Ecoul
+			info.ActivePairs += nbintReps[r].Npairs
+			for i, g := range nbintReps[r].Grad {
 				grad[i] += g
 			}
 		}
 		// The gather-and-sum is client work.
-		t.Charge("reduce", forcefield.ReduceOps.Times(float64(3*sys.N*len(reps))))
+		t.Charge("reduce", forcefield.ReduceOps.Times(float64(3*sys.N*nservers)))
 		fin := c.finishStep(t, evdw, ecoul, grad)
 		fin.PairChecks = info.PairChecks
 		fin.Updated = info.Updated

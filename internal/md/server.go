@@ -52,13 +52,17 @@ func (s *opalServer) Init(t pvm.Task, n, nsolute int, kinds, types []int64,
 	for i, v := range types {
 		typesInt[i] = int(v)
 	}
+	// The []float64 arguments are stub-owned scratch (see RegisterOpal);
+	// the server retains them across calls, so it must take copies.
 	s.d = &nbData{
 		n: n, nsolute: nsolute,
 		types:   typesInt,
-		charges: charges,
-		lj:      &forcefield.LJTable{NTypes: nt, C12: c12, C6: c6},
-		excl:    forcefield.ExclusionsFromKeys(n, excl),
-		cutoff:  cutoff,
+		charges: append([]float64(nil), charges...),
+		lj: &forcefield.LJTable{NTypes: nt,
+			C12: append([]float64(nil), c12...),
+			C6:  append([]float64(nil), c6...)},
+		excl:   forcefield.ExclusionsFromKeys(n, excl),
+		cutoff: cutoff,
 	}
 	owners := pairlist.Owners(n, nservers, pairlist.Strategy(strategy), int64(seed))
 	rows := pairlist.RowsOf(owners, t.Instance())

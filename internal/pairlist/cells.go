@@ -2,7 +2,7 @@ package pairlist
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"opalperf/internal/forcefield"
 	"opalperf/internal/hpm"
@@ -43,8 +43,18 @@ func (l *List) UpdateCells(pos []float64, cutoff, box float64, excl *forcefield.
 		cz := clampCell(int(pos[3*i+2]/side), ncell)
 		return cx, cy, cz
 	}
-	// Bin all atoms (the whole complex: any of them can be a partner).
-	bins := make([][]int32, ncell*ncell*ncell)
+	// Bin all atoms (the whole complex: any of them can be a partner),
+	// reusing the bin storage of the previous rebuild.
+	need := ncell * ncell * ncell
+	if cap(l.bins) < need {
+		l.bins = make([][]int32, need)
+	} else {
+		l.bins = l.bins[:need]
+		for b := range l.bins {
+			l.bins[b] = l.bins[b][:0]
+		}
+	}
+	bins := l.bins
 	idx := func(x, y, z int) int { return (x*ncell+y)*ncell + z }
 	for i := 0; i < l.N; i++ {
 		x, y, z := cellOf(i)
@@ -93,7 +103,7 @@ func (l *List) UpdateCells(pos []float64, cutoff, box float64, excl *forcefield.
 		}
 		// Keep the exact partner order of the brute-force update so the
 		// energy summation is bit-identical.
-		sort.Slice(ps, func(a, b int) bool { return ps[a] < ps[b] })
+		slices.Sort(ps)
 		l.Pairs[r] = ps
 		l.NActive += len(ps)
 	}

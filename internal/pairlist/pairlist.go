@@ -181,6 +181,9 @@ type List struct {
 	// Pairs[r] holds the partners j (> Rows[r]) within the cut-off.
 	Pairs   [][]int32
 	NActive int
+	// bins is the cell-binning scratch of UpdateCells, kept across
+	// rebuilds so the steady-state update allocates nothing.
+	bins [][]int32
 }
 
 // NewList prepares an empty list for the given rows.

@@ -1,0 +1,64 @@
+package pvm
+
+import "testing"
+
+// Steady-state allocation regression tests for the message path: once a
+// buffer's item and payload storage has been grown, Reset-repack-unpack
+// cycles with stable shapes must not touch the heap.
+
+func TestBufferResetReuseZeroAlloc(t *testing.T) {
+	payload := make([]float64, 256)
+	var scratch []float64
+	b := NewBuffer()
+	cycle := func() {
+		b.Reset().PackInt(7).PackString("nbint").PackFloat64s(payload)
+		b.pos = 0 // rewind, as the point-to-point sim fabric does
+		if got := b.MustInt(); got != 7 {
+			t.Fatalf("call id = %d", got)
+		}
+		if got := b.MustString(); got != "nbint" {
+			t.Fatalf("method = %q", got)
+		}
+		b.MustFloat64sReuse(&scratch)
+		if len(scratch) != len(payload) {
+			t.Fatalf("payload length = %d", len(scratch))
+		}
+	}
+	cycle() // grow the storage once
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Errorf("Reset/pack/unpack cycle allocates %.1f objects, want 0", allocs)
+	}
+}
+
+func TestBufferScalarPackZeroAlloc(t *testing.T) {
+	b := NewBuffer()
+	cycle := func() {
+		b.Reset().PackInt(1).PackFloat64(2.5).PackInt(3)
+		b.pos = 0
+		if b.MustInt() != 1 || b.MustFloat64() != 2.5 || b.MustInt() != 3 {
+			t.Fatal("scalar roundtrip mismatch")
+		}
+	}
+	cycle()
+	if allocs := testing.AllocsPerRun(100, cycle); allocs != 0 {
+		t.Errorf("scalar pack cycle allocates %.1f objects, want 0", allocs)
+	}
+}
+
+func TestBufferResetKeepsCapacityAcrossKinds(t *testing.T) {
+	b := NewBuffer()
+	f := []float64{1, 2, 3}
+	i := []int64{4, 5}
+	// Alternate layouts; the slot reuse must stay type-correct.
+	b.Reset().PackFloat64s(f).PackInt64s(i)
+	b.Reset().PackInt64s(i).PackFloat64s(f)
+	b.pos = 0
+	got, err := b.UnpackInt64s()
+	if err != nil || len(got) != 2 || got[0] != 4 {
+		t.Fatalf("int64s after kind swap: %v, %v", got, err)
+	}
+	fs, err := b.UnpackFloat64s()
+	if err != nil || len(fs) != 3 || fs[2] != 3 {
+		t.Fatalf("float64s after kind swap: %v, %v", fs, err)
+	}
+}

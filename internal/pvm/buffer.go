@@ -37,6 +37,12 @@ const (
 	kindI64s
 	kindBytes
 	kindString
+	// Scalar kinds store their single value inline in the item, so that
+	// packing protocol headers (call ids, method names, step numbers)
+	// allocates nothing.  On the wire they travel as one-element slice
+	// items, keeping the network format unchanged.
+	kindF64
+	kindI64
 )
 
 type item struct {
@@ -45,6 +51,8 @@ type item struct {
 	i64s []int64
 	raw  []byte
 	str  string
+	f64  float64
+	i64  int64
 }
 
 func (it item) bytes() int {
@@ -58,6 +66,8 @@ func (it item) bytes() int {
 		return header + len(it.raw)
 	case kindString:
 		return header + len(it.str)
+	case kindF64, kindI64:
+		return header + 8
 	}
 	return header
 }
@@ -69,10 +79,56 @@ func (it item) bytes() int {
 type Buffer struct {
 	items []item
 	pos   int
+	// sent/shared track fabric delivery for the zero-copy simulated
+	// fabric: a buffer handed to Send once can be delivered to its single
+	// receiver directly (cursor rewound), while a buffer sent twice or
+	// multicast must be wrapped in per-receiver readers.
+	sent   bool
+	shared bool
 }
 
 // NewBuffer returns an empty send buffer (pvm_initsend).
 func NewBuffer() *Buffer { return &Buffer{} }
+
+// Reset clears the buffer for repacking (pvm_initsend on an existing
+// buffer), keeping the item and payload storage of the previous contents
+// so that steady-state phases repack without heap allocation.
+//
+// Reuse contract: the previous contents are overwritten in place, so
+// Reset may only be called once every receiver of the earlier message is
+// done unpacking it.  The synchronous Sciddle phase protocol guarantees
+// exactly that — a client never starts phase k+1 before it has unpacked
+// every reply of phase k, and a server never touches request k+1 before
+// it has sent reply k.
+func (b *Buffer) Reset() *Buffer {
+	b.items = b.items[:0]
+	b.pos = 0
+	b.sent = false
+	b.shared = false
+	return b
+}
+
+// slot extends the item list by one entry, reusing the backing array and
+// — when the slot last held the same kind — the payload storage of the
+// item previously recorded there.
+func (b *Buffer) slot(kind itemKind) *item {
+	if n := len(b.items); n < cap(b.items) {
+		b.items = b.items[:n+1]
+		it := &b.items[n]
+		if it.kind != kind {
+			*it = item{kind: kind}
+		}
+		return it
+	}
+	if b.items == nil {
+		b.items = make([]item, 1, 4)
+	} else {
+		b.items = append(b.items, item{})
+	}
+	it := &b.items[len(b.items)-1]
+	*it = item{kind: kind}
+	return it
+}
 
 // Bytes returns the total message volume in bytes, the quantity charged by
 // the communication cost model.
@@ -107,47 +163,53 @@ func (b *Buffer) CopyNext(dst *Buffer) error {
 
 // PackFloat64s appends a copy of xs.
 func (b *Buffer) PackFloat64s(xs []float64) *Buffer {
-	cp := make([]float64, len(xs))
-	copy(cp, xs)
-	b.items = append(b.items, item{kind: kindF64s, f64s: cp})
+	it := b.slot(kindF64s)
+	it.f64s = append(it.f64s[:0], xs...)
 	return b
 }
 
 // PackFloat64 appends a single float64.
-func (b *Buffer) PackFloat64(x float64) *Buffer { return b.PackFloat64s([]float64{x}) }
+func (b *Buffer) PackFloat64(x float64) *Buffer {
+	b.slot(kindF64).f64 = x
+	return b
+}
 
 // PackInt64s appends a copy of xs.
 func (b *Buffer) PackInt64s(xs []int64) *Buffer {
-	cp := make([]int64, len(xs))
-	copy(cp, xs)
-	b.items = append(b.items, item{kind: kindI64s, i64s: cp})
+	it := b.slot(kindI64s)
+	it.i64s = append(it.i64s[:0], xs...)
 	return b
 }
 
 // PackInt appends a single integer.
-func (b *Buffer) PackInt(x int) *Buffer { return b.PackInt64s([]int64{int64(x)}) }
+func (b *Buffer) PackInt(x int) *Buffer {
+	b.slot(kindI64).i64 = int64(x)
+	return b
+}
 
 // PackBytes appends a copy of raw bytes.
 func (b *Buffer) PackBytes(p []byte) *Buffer {
-	cp := make([]byte, len(p))
-	copy(cp, p)
-	b.items = append(b.items, item{kind: kindBytes, raw: cp})
+	it := b.slot(kindBytes)
+	it.raw = append(it.raw[:0], p...)
 	return b
 }
 
 // PackString appends a string.
 func (b *Buffer) PackString(s string) *Buffer {
-	b.items = append(b.items, item{kind: kindString, str: s})
+	b.slot(kindString).str = s
 	return b
 }
 
-func (b *Buffer) next(kind itemKind) (item, error) {
+// next returns the next unread item when its kind is kind or scalarKind
+// (the inline form of the same element type; pass kind twice when no
+// scalar form exists).
+func (b *Buffer) next(kind, scalarKind itemKind) (*item, error) {
 	if b.pos >= len(b.items) {
-		return item{}, fmt.Errorf("pvm: unpack past end of buffer (item %d)", b.pos)
+		return nil, fmt.Errorf("pvm: unpack past end of buffer (item %d)", b.pos)
 	}
-	it := b.items[b.pos]
-	if it.kind != kind {
-		return item{}, fmt.Errorf("pvm: unpack type mismatch at item %d: have %d, want %d", b.pos, it.kind, kind)
+	it := &b.items[b.pos]
+	if it.kind != kind && it.kind != scalarKind {
+		return nil, fmt.Errorf("pvm: unpack type mismatch at item %d: have %d, want %d", b.pos, it.kind, kind)
 	}
 	b.pos++
 	return it, nil
@@ -155,9 +217,12 @@ func (b *Buffer) next(kind itemKind) (item, error) {
 
 // UnpackFloat64s removes and returns the next item as a fresh []float64.
 func (b *Buffer) UnpackFloat64s() ([]float64, error) {
-	it, err := b.next(kindF64s)
+	it, err := b.next(kindF64s, kindF64)
 	if err != nil {
 		return nil, err
+	}
+	if it.kind == kindF64 {
+		return []float64{it.f64}, nil
 	}
 	cp := make([]float64, len(it.f64s))
 	copy(cp, it.f64s)
@@ -167,9 +232,16 @@ func (b *Buffer) UnpackFloat64s() ([]float64, error) {
 // UnpackFloat64sInto copies the next float64 item into dst, which must
 // have the exact length.
 func (b *Buffer) UnpackFloat64sInto(dst []float64) error {
-	it, err := b.next(kindF64s)
+	it, err := b.next(kindF64s, kindF64)
 	if err != nil {
 		return err
+	}
+	if it.kind == kindF64 {
+		if len(dst) != 1 {
+			return fmt.Errorf("pvm: unpack into wrong length %d, message has 1", len(dst))
+		}
+		dst[0] = it.f64
+		return nil
 	}
 	if len(dst) != len(it.f64s) {
 		return fmt.Errorf("pvm: unpack into wrong length %d, message has %d", len(dst), len(it.f64s))
@@ -178,23 +250,46 @@ func (b *Buffer) UnpackFloat64sInto(dst []float64) error {
 	return nil
 }
 
+// UnpackFloat64sReuse copies the next float64 item into *dst, growing the
+// slice only when its capacity is insufficient.  Steady-state receivers
+// that keep their scratch slice between messages unpack without heap
+// allocation.
+func (b *Buffer) UnpackFloat64sReuse(dst *[]float64) error {
+	it, err := b.next(kindF64s, kindF64)
+	if err != nil {
+		return err
+	}
+	if it.kind == kindF64 {
+		*dst = append((*dst)[:0], it.f64)
+		return nil
+	}
+	*dst = append((*dst)[:0], it.f64s...)
+	return nil
+}
+
 // UnpackFloat64 removes a single float64.
 func (b *Buffer) UnpackFloat64() (float64, error) {
-	xs, err := b.UnpackFloat64s()
+	it, err := b.next(kindF64, kindF64s)
 	if err != nil {
 		return math.NaN(), err
 	}
-	if len(xs) != 1 {
-		return math.NaN(), fmt.Errorf("pvm: expected scalar float64, have %d values", len(xs))
+	if it.kind == kindF64 {
+		return it.f64, nil
 	}
-	return xs[0], nil
+	if len(it.f64s) != 1 {
+		return math.NaN(), fmt.Errorf("pvm: expected scalar float64, have %d values", len(it.f64s))
+	}
+	return it.f64s[0], nil
 }
 
 // UnpackInt64s removes and returns the next item as a fresh []int64.
 func (b *Buffer) UnpackInt64s() ([]int64, error) {
-	it, err := b.next(kindI64s)
+	it, err := b.next(kindI64s, kindI64)
 	if err != nil {
 		return nil, err
+	}
+	if it.kind == kindI64 {
+		return []int64{it.i64}, nil
 	}
 	cp := make([]int64, len(it.i64s))
 	copy(cp, it.i64s)
@@ -203,19 +298,22 @@ func (b *Buffer) UnpackInt64s() ([]int64, error) {
 
 // UnpackInt removes a single integer.
 func (b *Buffer) UnpackInt() (int, error) {
-	xs, err := b.UnpackInt64s()
+	it, err := b.next(kindI64, kindI64s)
 	if err != nil {
 		return 0, err
 	}
-	if len(xs) != 1 {
-		return 0, fmt.Errorf("pvm: expected scalar int, have %d values", len(xs))
+	if it.kind == kindI64 {
+		return int(it.i64), nil
 	}
-	return int(xs[0]), nil
+	if len(it.i64s) != 1 {
+		return 0, fmt.Errorf("pvm: expected scalar int, have %d values", len(it.i64s))
+	}
+	return int(it.i64s[0]), nil
 }
 
 // UnpackBytes removes and returns the next raw item.
 func (b *Buffer) UnpackBytes() ([]byte, error) {
-	it, err := b.next(kindBytes)
+	it, err := b.next(kindBytes, kindBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -226,7 +324,7 @@ func (b *Buffer) UnpackBytes() ([]byte, error) {
 
 // UnpackString removes and returns the next string item.
 func (b *Buffer) UnpackString() (string, error) {
-	it, err := b.next(kindString)
+	it, err := b.next(kindString, kindString)
 	if err != nil {
 		return "", err
 	}
@@ -241,6 +339,20 @@ func (b *Buffer) MustFloat64s() []float64 {
 		panic(err)
 	}
 	return xs
+}
+
+// MustFloat64sInto unpacks into an exact-length slice or panics.
+func (b *Buffer) MustFloat64sInto(dst []float64) {
+	if err := b.UnpackFloat64sInto(dst); err != nil {
+		panic(err)
+	}
+}
+
+// MustFloat64sReuse unpacks into a reusable scratch slice or panics.
+func (b *Buffer) MustFloat64sReuse(dst *[]float64) {
+	if err := b.UnpackFloat64sReuse(dst); err != nil {
+		panic(err)
+	}
 }
 
 // MustFloat64 unpacks a scalar or panics.

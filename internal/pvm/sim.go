@@ -85,26 +85,48 @@ func (t *simTask) Now() float64  { return t.proc.Now() }
 func (t *simTask) Monitor() *hpm.Monitor { return t.mon }
 
 func (t *simTask) Send(dst, tag int, b *Buffer) {
+	if b.sent {
+		// The same buffer object is being delivered a second time; its
+		// receivers need independent unpack cursors.
+		b.shared = true
+	}
+	b.sent = true
 	t.proc.Send(dst, tag, b, b.Bytes())
 }
 
 func (t *simTask) Mcast(dsts []int, tag int, b *Buffer) {
+	if len(dsts) > 1 || b.sent {
+		b.shared = true
+	}
+	b.sent = true
 	for _, d := range dsts {
 		t.proc.Send(d, tag, b, b.Bytes())
 	}
 }
 
 func (t *simTask) Recv(src, tag int) (*Buffer, int, int) {
-	m := t.proc.Recv(vm.MatchSrcTag(src, tag))
+	m := t.proc.RecvSrcTag(src, tag)
 	b, ok := m.Payload.(*Buffer)
 	if !ok {
 		panic(fmt.Sprintf("pvm: non-buffer payload %T", m.Payload))
 	}
-	return b.reader(), m.Src, m.Tag
+	msrc, mtag := m.Src, m.Tag
+	// The payload is extracted and the message was already removed from
+	// the mailbox, so the kernel may reuse it for a future send.
+	t.proc.Kernel().Recycle(m)
+	if b.shared {
+		// Multicast (or re-sent) buffers get a per-receiver cursor.
+		return b.reader(), msrc, mtag
+	}
+	// Point-to-point: simulated tasks share one address space (like PVM
+	// tasks on a shared-memory node), so the single receiver unpacks the
+	// sender's buffer directly — no wrapper allocation.
+	b.pos = 0
+	return b, msrc, mtag
 }
 
 func (t *simTask) Probe(src, tag int) bool {
-	return t.proc.Probe(vm.MatchSrcTag(src, tag))
+	return t.proc.ProbeSrcTag(src, tag)
 }
 
 func (t *simTask) Barrier(name string, parties int) {

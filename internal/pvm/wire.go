@@ -16,6 +16,20 @@ func (b *Buffer) MarshalBinary() ([]byte, error) {
 	out := make([]byte, 0, b.Bytes()+8)
 	out = binary.BigEndian.AppendUint32(out, uint32(len(b.items)))
 	for _, it := range b.items {
+		switch it.kind {
+		// Inline scalars travel as one-element slice items so the wire
+		// format is identical to what the slice pack methods produce.
+		case kindF64:
+			out = append(out, byte(kindF64s))
+			out = binary.BigEndian.AppendUint32(out, 1)
+			out = binary.BigEndian.AppendUint64(out, math.Float64bits(it.f64))
+			continue
+		case kindI64:
+			out = append(out, byte(kindI64s))
+			out = binary.BigEndian.AppendUint32(out, 1)
+			out = binary.BigEndian.AppendUint64(out, uint64(it.i64))
+			continue
+		}
 		out = append(out, byte(it.kind))
 		switch it.kind {
 		case kindF64s:

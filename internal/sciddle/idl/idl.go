@@ -296,15 +296,33 @@ func genService(b *strings.Builder, s *Service) {
 	}
 	fmt.Fprintf(b, "}\n\n")
 
-	// Registration.
-	fmt.Fprintf(b, "// Register%s binds h's methods onto svc.\n", name)
+	// Registration.  The generated handlers keep per-method scratch in the
+	// closures: one reply buffer Reset and repacked per call, and one
+	// reusable slice per []float64 argument, so a steady-state RPC phase
+	// allocates nothing on the server.  Safe under the synchronous Sciddle
+	// phase protocol (see the reuse contract on pvm.Buffer.Reset).
+	fmt.Fprintf(b, "// Register%s binds h's methods onto svc.\n//\n", name)
+	fmt.Fprintf(b, "// The []float64 arguments passed to h are stub-owned scratch, valid only\n")
+	fmt.Fprintf(b, "// for the duration of the call; handlers that retain them must copy.\n")
 	fmt.Fprintf(b, "func Register%s(svc *sciddle.Service, h %sHandler) {\n", name, name)
 	for _, m := range s.Methods {
+		for _, a := range m.Args {
+			if a.Type == "[]float64" {
+				fmt.Fprintf(b, "\tvar %s []float64\n", scratchName(m, a))
+			}
+		}
+		if len(m.Rets) > 0 {
+			fmt.Fprintf(b, "\t%sRep := pvm.NewBuffer()\n", m.Name)
+		}
 		fmt.Fprintf(b, "\tsvc.Register(%q, func(t pvm.Task, b *pvm.Buffer) *pvm.Buffer {\n", m.Name)
 		for _, a := range m.Args {
-			if needsBufferArg(a.Type) {
+			switch {
+			case a.Type == "[]float64":
+				fmt.Fprintf(b, "\t\tb.MustFloat64sReuse(&%s)\n", scratchName(m, a))
+				fmt.Fprintf(b, "\t\t%s := %s\n", a.Name, scratchName(m, a))
+			case needsBufferArg(a.Type):
 				fmt.Fprintf(b, "\t\t%s := %s\n", a.Name, mustCall(a.Type))
-			} else {
+			default:
 				fmt.Fprintf(b, "\t\t%s := b.%s\n", a.Name, mustCall(a.Type))
 			}
 		}
@@ -317,7 +335,7 @@ func genService(b *strings.Builder, s *Service) {
 			fmt.Fprintf(b, "\t\t%s\n\t\treturn nil\n", call)
 		} else {
 			fmt.Fprintf(b, "\t\t%s := %s\n", strings.Join(retNames, ", "), call)
-			fmt.Fprintf(b, "\t\trep := pvm.NewBuffer()\n")
+			fmt.Fprintf(b, "\t\trep := %sRep.Reset()\n", m.Name)
 			for _, r := range m.Rets {
 				fmt.Fprintf(b, "\t\trep.%s(%s)\n", packCall(r.Type), r.Name)
 			}
@@ -338,6 +356,11 @@ func genService(b *strings.Builder, s *Service) {
 }
 
 func needsBufferArg(typ string) bool { return typ == "[]int64" || typ == "[]byte" }
+
+// scratchName names the per-method reusable unpack slice for a []float64
+// argument, e.g. nbintCoords.  Method names are unique per service, so the
+// names cannot collide within a registration function.
+func scratchName(m Method, a Param) string { return m.Name + export(a.Name) }
 
 func sigParams(ps []Param) string {
 	var sb strings.Builder
@@ -397,6 +420,21 @@ func genClientMethod(b *strings.Builder, svcName string, m Method) {
 			}
 		}
 		fmt.Fprintf(b, "\treturn r\n}\n\n")
+		// In-place reply unpacker: []float64 results reuse the capacity of
+		// the previous contents of the field, so a steady-state caller that
+		// keeps its reply slots unpacks without heap allocation.
+		fmt.Fprintf(b, "func unpack%s%sReplyInto(b *pvm.Buffer, r *%s) {\n", svcName, mName, replyType)
+		for _, rp := range m.Rets {
+			switch {
+			case rp.Type == "[]float64":
+				fmt.Fprintf(b, "\tb.MustFloat64sReuse(&r.%s)\n", export(rp.Name))
+			case needsBufferArg(rp.Type):
+				fmt.Fprintf(b, "\tr.%s = %s\n", export(rp.Name), mustCall(rp.Type))
+			default:
+				fmt.Fprintf(b, "\tr.%s = b.%s\n", export(rp.Name), mustCall(rp.Type))
+			}
+		}
+		fmt.Fprintf(b, "}\n\n")
 	}
 	// Synchronous per-server call.
 	fmt.Fprintf(b, "// %s calls %s on server index i.\n", mName, m.Name)
@@ -420,8 +458,44 @@ func genClientMethod(b *strings.Builder, svcName string, m Method) {
 		fmt.Fprintf(b, "func (c *%sClient) %sPhase(argFn func(i int) *pvm.Buffer) {\n", svcName, mName)
 		fmt.Fprintf(b, "\tc.Conn.CallPhase(%q, argFn)\n}\n\n", m.Name)
 	}
+	// Zero-alloc phase call: arguments are packed into connection-owned
+	// request buffers (reused across phases) and, for methods with results,
+	// replies are unpacked in place into the caller's reply slots.
+	if len(m.Rets) > 0 {
+		fmt.Fprintf(b, "// %sPhaseInto is %sPhase with steady-state buffer reuse: pack writes the\n", mName, mName)
+		fmt.Fprintf(b, "// per-server arguments into a connection-owned request buffer, and the\n")
+		fmt.Fprintf(b, "// replies are unpacked into out (len = number of servers), reusing the\n")
+		fmt.Fprintf(b, "// capacity of its slice fields.  A caller that keeps out across phases\n")
+		fmt.Fprintf(b, "// allocates nothing per phase.\n")
+		fmt.Fprintf(b, "func (c *%sClient) %sPhaseInto(pack func(i int, args *pvm.Buffer), out []%s) {\n", svcName, mName, replyType)
+		fmt.Fprintf(b, "\treps := c.Conn.CallPhasePacked(%q, pack)\n", m.Name)
+		fmt.Fprintf(b, "\tfor i, rep := range reps {\n\t\tunpack%s%sReplyInto(rep, &out[i])\n\t}\n}\n\n", svcName, mName)
+	} else {
+		fmt.Fprintf(b, "// %sPhasePacked is %sPhase with steady-state buffer reuse: pack writes\n", mName, mName)
+		fmt.Fprintf(b, "// the per-server arguments into a connection-owned request buffer.\n")
+		fmt.Fprintf(b, "func (c *%sClient) %sPhasePacked(pack func(i int, args *pvm.Buffer)) {\n", svcName, mName)
+		fmt.Fprintf(b, "\tc.Conn.CallPhasePacked(%q, pack)\n}\n\n", m.Name)
+	}
 	// Exported args packer for use with Phase argFn.
 	fmt.Fprintf(b, "// Pack%s%sArgs builds the argument buffer for %sPhase.\n", svcName, mName, mName)
 	fmt.Fprintf(b, "func Pack%s%sArgs(%s) *pvm.Buffer {\n\treturn pack%s%sArgs(%s)\n}\n\n",
 		svcName, mName, strings.TrimPrefix(sigParams(m.Args), ", "), svcName, mName, strings.TrimPrefix(argList(m.Args), ", "))
+	// Exported in-place args packer for use with the packed phase calls.
+	fmt.Fprintf(b, "// Pack%s%sArgsInto packs the arguments for %s into b.\n", svcName, mName, packedPhaseName(m, mName))
+	if len(m.Args) == 0 {
+		fmt.Fprintf(b, "func Pack%s%sArgsInto(_ *pvm.Buffer) {}\n\n", svcName, mName)
+		return
+	}
+	fmt.Fprintf(b, "func Pack%s%sArgsInto(b *pvm.Buffer%s) {\n", svcName, mName, sigParams(m.Args))
+	for _, a := range m.Args {
+		fmt.Fprintf(b, "\tb.%s(%s)\n", packCall(a.Type), a.Name)
+	}
+	fmt.Fprintf(b, "}\n\n")
+}
+
+func packedPhaseName(m Method, mName string) string {
+	if len(m.Rets) > 0 {
+		return mName + "PhaseInto"
+	}
+	return mName + "PhasePacked"
 }

@@ -113,6 +113,12 @@ func TestGenerateCompilesShapes(t *testing.T) {
 		"type OpalNbintReply struct",
 		"func (c *OpalClient) NbintPhase(argFn func(i int) *pvm.Buffer) []OpalNbintReply",
 		"func PackOpalNbintArgs(coords []float64) *pvm.Buffer",
+		"func (c *OpalClient) NbintPhaseInto(pack func(i int, args *pvm.Buffer), out []OpalNbintReply)",
+		"func (c *OpalClient) UpdatePhasePacked(pack func(i int, args *pvm.Buffer))",
+		"func PackOpalNbintArgsInto(b *pvm.Buffer, coords []float64)",
+		"func PackOpalHelloArgsInto(_ *pvm.Buffer) {}",
+		"b.MustFloat64sReuse(&nbintCoords)",
+		"rep := nbintRep.Reset()",
 		"func (c *OpalClient) Hello(i int)",
 		"Info(t pvm.Task, name string, raw []byte, ids []int64) (greeting string)",
 		"DO NOT EDIT",

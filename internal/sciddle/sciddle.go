@@ -87,6 +87,7 @@ func Serve(t pvm.Task, svc *Service, opt ServeOptions) {
 	if opt.Accounting && opt.Parties < 2 {
 		panic("sciddle: accounting mode needs Parties >= 2")
 	}
+	var voidReply *pvm.Buffer
 	phase := 0
 	for {
 		req, src, _ := t.Recv(pvm.AnySrc, tagRequest)
@@ -112,7 +113,13 @@ func Serve(t pvm.Task, svc *Service, opt ServeOptions) {
 		}
 		reply := h(t, req)
 		if reply == nil {
-			reply = pvm.NewBuffer()
+			// Void reply: reuse one empty buffer for every acknowledgement.
+			// Reset is safe here because the client has finished with the
+			// previous acknowledgement before this handler could run again.
+			if voidReply == nil {
+				voidReply = pvm.NewBuffer()
+			}
+			reply = voidReply.Reset()
 		}
 		if opt.Accounting {
 			t.Barrier(barrierKey(phase, "done"), opt.Parties)
@@ -124,8 +131,24 @@ func Serve(t pvm.Task, svc *Service, opt ServeOptions) {
 
 func replyTag(callID int) int { return tagReplyBase + 1 + callID }
 
+// Phase barrier keys alternate between two constant pairs instead of
+// embedding the phase number, so steady-state phases allocate no key
+// strings.  Reuse is safe: a vm barrier is deleted the instant its last
+// party arrives, and no party can enter the phase k+2 "call" barrier
+// before it has passed the phase k+1 "done" barrier — by which time the
+// phase k barriers (the previous users of the same keys) are long gone.
+// Client and servers index by the same per-connection phase counter, so
+// the parity always agrees.
+var phaseKeys = [2][2]string{
+	{"sciddle/even/call", "sciddle/even/done"},
+	{"sciddle/odd/call", "sciddle/odd/done"},
+}
+
 func barrierKey(phase int, point string) string {
-	return fmt.Sprintf("sciddle/%d/%s", phase, point)
+	if point == "call" {
+		return phaseKeys[phase&1][0]
+	}
+	return phaseKeys[phase&1][1]
 }
 
 // MethodStats aggregates the client-side cost of one method, as the
@@ -152,6 +175,11 @@ type Conn struct {
 	accounting bool
 	stats      map[string]*MethodStats
 	statOrder  []string
+	// Steady-state scratch of CallPhasePacked: per-server request buffers
+	// reset and repacked each phase, plus call-id and reply collections.
+	reqBufs []*pvm.Buffer
+	callIDs []int
+	replies []*pvm.Buffer
 }
 
 // Connect builds a connection from a client task to its servers.
@@ -270,6 +298,60 @@ func (c *Conn) CallPhase(method string, args func(i int) *pvm.Buffer) []*pvm.Buf
 		replies[i] = p.Wait()
 	}
 	return replies
+}
+
+// CallPhasePacked performs the same SPMD call phase as CallPhase, but
+// packs each server's arguments directly into a per-server request buffer
+// the connection owns and reuses across phases — the zero-allocation
+// steady-state path of the parallel Opal step loop.  pack may be nil for
+// argument-free calls.
+//
+// Reuse contract: the returned reply buffers are owned by the servers and
+// the returned slice by the connection; both are valid only until the
+// next call phase.  Repacking a request buffer for phase k+1 is safe
+// because the phase protocol is synchronous — every server has unpacked
+// its phase-k request before it sends the phase-k reply, and the client
+// holds all phase-k replies before starting phase k+1.
+func (c *Conn) CallPhasePacked(method string, pack func(i int, args *pvm.Buffer)) []*pvm.Buffer {
+	for len(c.reqBufs) < len(c.servers) {
+		c.reqBufs = append(c.reqBufs, pvm.NewBuffer())
+	}
+	if cap(c.callIDs) < len(c.servers) {
+		c.callIDs = make([]int, len(c.servers))
+		c.replies = make([]*pvm.Buffer, len(c.servers))
+	}
+	c.callIDs = c.callIDs[:len(c.servers)]
+	c.replies = c.replies[:len(c.servers)]
+	st := c.stat(method)
+	for i := range c.servers {
+		req := c.reqBufs[i].Reset()
+		callID := c.seq
+		c.seq++
+		c.callIDs[i] = callID
+		req.PackInt(callID).PackString(method)
+		if pack != nil {
+			pack(i, req)
+		}
+		t0 := c.t.Now()
+		c.t.Send(c.servers[i], tagRequest, req)
+		st.TCall += c.t.Now() - t0
+		st.Calls++
+		st.BytesOut += req.Bytes()
+	}
+	if c.accounting {
+		parties := len(c.servers) + 1
+		c.t.Barrier(barrierKey(c.phase, "call"), parties)
+		c.t.Barrier(barrierKey(c.phase, "done"), parties)
+		c.phase++
+	}
+	for i := range c.servers {
+		t0 := c.t.Now()
+		b, _, _ := c.t.Recv(c.servers[i], replyTag(c.callIDs[i]))
+		st.TReturn += c.t.Now() - t0
+		st.BytesIn += b.Bytes()
+		c.replies[i] = b
+	}
+	return c.replies
 }
 
 // Close sends a stop request to every server and collects the

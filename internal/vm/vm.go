@@ -192,10 +192,14 @@ type Proc struct {
 	state   procState
 	resume  chan struct{}
 	mailbox []*Message
-	match   func(*Message) bool
-	got     *Message
-	barrier *barrier
-	fn      func(*Proc)
+	// Receive matching: either a predicate closure (Recv) or an inline
+	// (src, tag) pair (RecvSrcTag), the latter so the common pvm_recv
+	// shape allocates nothing.
+	match              func(*Message) bool
+	matchSrc, matchTag int
+	got                *Message
+	barrier            *barrier
+	fn                 func(*Proc)
 }
 
 // ID returns the process id (0-based, dense).
@@ -300,7 +304,8 @@ func (p *Proc) Send(dst, tag int, payload any, bytes int) {
 	p.now = end
 	p.stats.MsgsSent++
 	p.stats.BytesSent += bytes
-	m := &Message{
+	m := p.k.newMessage()
+	*m = Message{
 		Src: p.id, Dst: dst, Tag: tag,
 		Bytes: bytes, Payload: payload,
 		Arrival: p.now + latency,
@@ -328,6 +333,27 @@ func (p *Proc) Recv(match func(*Message) bool) *Message {
 		match = MatchAny
 	}
 	p.match = match
+	return p.recvWait()
+}
+
+// RecvSrcTag is Recv with the pvm_recv (source, tag) match inline — the
+// hot receive shape — avoiding the per-call predicate closure.  Either
+// may be -1 as a wildcard.
+func (p *Proc) RecvSrcTag(src, tag int) *Message {
+	p.match = nil
+	p.matchSrc, p.matchTag = src, tag
+	return p.recvWait()
+}
+
+// matches applies the pending receive criterion of a blocked process.
+func (p *Proc) matches(m *Message) bool {
+	if p.match != nil {
+		return p.match(m)
+	}
+	return (p.matchSrc < 0 || m.Src == p.matchSrc) && (p.matchTag < 0 || m.Tag == p.matchTag)
+}
+
+func (p *Proc) recvWait() *Message {
 	p.state = stateRecv
 	p.yield()
 	// The kernel has selected our earliest matching message and stored it
@@ -361,6 +387,16 @@ func (p *Proc) Probe(match func(*Message) bool) bool {
 	return false
 }
 
+// ProbeSrcTag is Probe with the (source, tag) match inline.
+func (p *Proc) ProbeSrcTag(src, tag int) bool {
+	for _, m := range p.mailbox {
+		if (src < 0 || m.Src == src) && (tag < 0 || m.Tag == tag) {
+			return true
+		}
+	}
+	return false
+}
+
 // Barrier synchronizes the calling process with parties-1 other processes
 // calling Barrier with the same key.  All members resume at
 // max(arrival times)+syncCost; the wait until the last arrival is
@@ -373,7 +409,7 @@ func (p *Proc) Barrier(key string, parties int) {
 	}
 	b := p.k.barriers[key]
 	if b == nil {
-		b = &barrier{key: key, parties: parties}
+		b = p.k.newBarrier(key, parties)
 		p.k.barriers[key] = b
 	}
 	if b.parties != parties {
@@ -408,6 +444,7 @@ func (p *Proc) Barrier(key string, parties int) {
 		}
 	}
 	delete(p.k.barriers, key)
+	p.k.freeBarrier(b)
 }
 
 // Spawn creates a new process starting at the caller's current virtual
@@ -446,6 +483,12 @@ type Kernel struct {
 	// chanFree is the virtual time at which the shared communication
 	// channel becomes free (star-topology contention model).
 	chanFree Time
+	// msgFree recycles delivered Messages so a steady-state send/recv
+	// exchange allocates nothing.  Exactly one process holds the execution
+	// token at a time, so the freelist needs no synchronization.
+	msgFree []*Message
+	// barFree recycles completed barrier records the same way.
+	barFree []*barrier
 }
 
 // NewKernel creates a kernel with the given communication cost model
@@ -504,6 +547,43 @@ func (k *Kernel) nextSeq() uint64 {
 	return k.seq
 }
 
+func (k *Kernel) newMessage() *Message {
+	if n := len(k.msgFree); n > 0 {
+		m := k.msgFree[n-1]
+		k.msgFree = k.msgFree[:n-1]
+		return m
+	}
+	return &Message{}
+}
+
+// Recycle returns a delivered message to the kernel's freelist so a later
+// Send can reuse it.  The receiver may only call it — from its own
+// goroutine, while holding the execution token — after it has extracted
+// everything it needs from the message, and must not touch m afterwards.
+func (k *Kernel) Recycle(m *Message) {
+	if m == nil {
+		return
+	}
+	m.Payload = nil
+	k.msgFree = append(k.msgFree, m)
+}
+
+func (k *Kernel) newBarrier(key string, parties int) *barrier {
+	if n := len(k.barFree); n > 0 {
+		b := k.barFree[n-1]
+		k.barFree = k.barFree[:n-1]
+		b.key, b.parties = key, parties
+		return b
+	}
+	return &barrier{key: key, parties: parties}
+}
+
+func (k *Kernel) freeBarrier(b *barrier) {
+	b.members = b.members[:0]
+	b.arrivals = b.arrivals[:0]
+	k.barFree = append(k.barFree, b)
+}
+
 // Proc returns the process with the given id, or nil.
 func (k *Kernel) Proc(id int) *Proc { return k.proc(id) }
 
@@ -537,7 +617,7 @@ func (k *Kernel) runnableKey(p *Proc) (Time, bool) {
 func earliestMatch(p *Proc) (*Message, bool) {
 	var best *Message
 	for _, m := range p.mailbox {
-		if !p.match(m) {
+		if !p.matches(m) {
 			continue
 		}
 		if best == nil || m.Arrival < best.Arrival ||
