@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json check cover fuzz figures clean
+.PHONY: all build test race bench bench-json check chaos cover fuzz figures clean
 
 all: build test
 
@@ -12,15 +12,20 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/pvm/ ./internal/md/ ./internal/sciddle/ ./internal/decomp/ \
-		./internal/parallel/ ./internal/harness/ ./internal/expdesign/
+	$(GO) test -race ./...
+
+# Repeat the chaos suite under the race detector: the seeded sim-fabric
+# fault sweep plus the live TCP server-kill tests.
+chaos:
+	$(GO) test -race -count=5 -run 'TestChaos|TestParallelSurvives|TestServerQuit' \
+		./internal/harness/ ./internal/md/
 
 # The full tier-1 gate: what CI runs.
 check:
 	$(GO) vet ./...
 	$(GO) build ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/harness/... ./internal/pvm/...
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -34,6 +39,7 @@ cover:
 
 fuzz:
 	$(GO) test ./internal/pvm/ -run xxx -fuzz FuzzBufferUnmarshal -fuzztime 15s
+	$(GO) test ./internal/pvm/ -run xxx -fuzz FuzzFrameDecode -fuzztime 15s
 	$(GO) test ./internal/sciddle/idl/ -run xxx -fuzz FuzzParse -fuzztime 15s
 	$(GO) test ./internal/molecule/ -run xxx -fuzz FuzzRead -fuzztime 15s
 

@@ -8,6 +8,7 @@
 //	opal -platform j90 -size medium -servers 4 -steps 10
 //	opal -platform fast -size large -cutoff 10 -update 10 -servers 7
 //	opal -size small -servers 0            # the serial Opal 2.6
+//	opal -size small -fault-rate 0.02 -fault-seed 7   # seeded chaos run
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"opalperf/internal/fault"
 	"opalperf/internal/harness"
 	"opalperf/internal/md"
 	"opalperf/internal/molecule"
@@ -46,6 +48,8 @@ func main() {
 		resumeFile = flag.String("resume", "", "resume from a checkpoint file")
 		ckptFile   = flag.String("checkpoint", "", "write a checkpoint file after the run")
 		xyzFile    = flag.String("xyz", "", "write an XYZ trajectory of the run")
+		faultRate  = flag.Float64("fault-rate", 0, "per-event fault injection probability (0 = off)")
+		faultSeed  = flag.Uint64("fault-seed", 1, "fault schedule seed; one seed is one schedule")
 	)
 	flag.Parse()
 
@@ -126,6 +130,10 @@ func main() {
 		Servers:  *servers,
 		Steps:    *steps,
 	}
+	if *faultRate > 0 {
+		cfg := fault.Uniform(*faultSeed, *faultRate)
+		spec.Faults = &cfg
+	}
 	fmt.Printf("Opal on %s — %s (%d mass centers, gamma %.3f), %d servers, %d steps\n",
 		pl.Name, sys.Name, sys.N, sys.Gamma(), *servers, *steps)
 	fmt.Printf("cut-off %.0f A (%seffective), update every %d step(s), %s distribution\n\n",
@@ -160,6 +168,12 @@ func main() {
 	fmt.Printf("  communication         %8.3f s\n", b.Comm)
 	fmt.Printf("  synchronization       %8.3f s\n", b.Sync)
 	fmt.Printf("  idle (load imbalance) %8.3f s\n", b.Idle)
+	if spec.Faults != nil {
+		fs := out.FaultStats
+		fmt.Printf("  fault recovery        %8.3f s\n", b.Recovery)
+		fmt.Printf("injected faults (seed %d, rate %g): %d total — %d drops, %d dups, %d delays, %d crashes, %d stragglers\n",
+			*faultSeed, *faultRate, fs.Total(), fs.Drops, fs.Dups, fs.Delays, fs.Crashes, fs.Stragglers)
+	}
 
 	if *metrics && *servers > 0 {
 		fmt.Println()

@@ -1,0 +1,122 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjectedReset is returned by a fault Conn when the plan decides to
+// reset the connection.  The underlying conn is closed, so the peer
+// observes a real broken stream, exercising the transport's reconnect and
+// session-resumption paths.
+var ErrInjectedReset = errors.New("fault: injected connection reset")
+
+// NetConfig parameterizes fault injection on a real network connection.
+// The zero value injects nothing (a transparent wrapper).
+type NetConfig struct {
+	// Seed selects the decision stream.  Each wrapped conn derives its own
+	// stream from Seed and a per-conn counter, so a reconnecting client
+	// does not replay the exact faults that killed the previous conn.
+	Seed uint64
+	// WriteLatency, when positive, sleeps up to this long before a write
+	// (scaled deterministically per write).
+	WriteLatency time.Duration
+	// PartialWriteRate is the probability that a write is split into
+	// several small chunks with scheduler yields in between — the shape
+	// that flushes out short-write handling in frame encoders.
+	PartialWriteRate float64
+	// ResetRate is the probability, per write, that the connection is
+	// closed mid-stream and the write fails with ErrInjectedReset.
+	ResetRate float64
+	// MaxChunk bounds the chunk size of a partial write (default 7 bytes,
+	// small enough to split every frame header).
+	MaxChunk int
+}
+
+// Conn wraps a net.Conn with seeded fault injection on the write path.
+// Reads pass through untouched: corrupting received bytes would break the
+// "faults never corrupt payloads" invariant; a broken stream is instead
+// modelled by the injected reset.
+type Conn struct {
+	net.Conn
+	cfg NetConfig
+
+	mu  sync.Mutex
+	rng splitmix
+}
+
+// WrapConn wraps c with fault injection; stream distinguishes multiple
+// conns of one logical session (e.g. a reconnect attempt counter).
+func WrapConn(c net.Conn, cfg NetConfig, stream uint64) *Conn {
+	if cfg.MaxChunk <= 0 {
+		cfg.MaxChunk = 7
+	}
+	return &Conn{Conn: c, cfg: cfg, rng: newSplitmix(cfg.Seed ^ (stream * 0x9E3779B97F4A7C15))}
+}
+
+// Dialer returns a dial function producing fault-wrapped TCP connections;
+// it plugs into the transport's injectable dial point.  Successive dials
+// get distinct decision streams.
+func Dialer(cfg NetConfig) func(addr string) (net.Conn, error) {
+	var mu sync.Mutex
+	var n uint64
+	return func(addr string) (net.Conn, error) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		n++
+		stream := n
+		mu.Unlock()
+		return WrapConn(c, cfg, stream), nil
+	}
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	reset := c.cfg.ResetRate > 0 && c.rng.float64() < c.cfg.ResetRate
+	partial := c.cfg.PartialWriteRate > 0 && c.rng.float64() < c.cfg.PartialWriteRate
+	var lat time.Duration
+	if c.cfg.WriteLatency > 0 {
+		lat = time.Duration(c.rng.float64() * float64(c.cfg.WriteLatency))
+	}
+	// Pre-draw the chunk sizes under the lock so concurrent writers cannot
+	// interleave rng access nondeterministically.
+	var cuts []int
+	if partial {
+		for off := 0; off < len(p); {
+			n := 1 + c.rng.intn(c.cfg.MaxChunk)
+			if off+n > len(p) {
+				n = len(p) - off
+			}
+			cuts = append(cuts, n)
+			off += n
+		}
+	}
+	c.mu.Unlock()
+
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if reset {
+		c.Conn.Close()
+		return 0, ErrInjectedReset
+	}
+	if !partial {
+		return c.Conn.Write(p)
+	}
+	written := 0
+	for _, n := range cuts {
+		m, err := c.Conn.Write(p[written : written+n])
+		written += m
+		if err != nil {
+			return written, err
+		}
+		// Yield so the reader observes a genuinely fragmented stream.
+		time.Sleep(50 * time.Microsecond)
+	}
+	return written, nil
+}

@@ -1,0 +1,36 @@
+package fault
+
+// splitmix is SplitMix64 (Steele, Lea & Flood), chosen over math/rand for
+// a guarantee the standard library does not make: the output stream for a
+// given seed is fixed by this file alone, immune to Go release changes,
+// so checked-in chaos seeds reproduce forever.
+type splitmix struct{ s uint64 }
+
+func newSplitmix(seed uint64) splitmix {
+	// Pre-mix the seed once so that small consecutive seeds (0, 1, 2, ...,
+	// the shape a sweep uses) start from well-separated stream states.
+	r := splitmix{s: seed}
+	r.next()
+	return r
+}
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *splitmix) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *splitmix) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"opalperf/internal/core"
+	"opalperf/internal/fault"
 	"opalperf/internal/md"
 	"opalperf/internal/molecule"
 	"opalperf/internal/platform"
@@ -23,6 +24,10 @@ type RunSpec struct {
 	Opts     md.Options
 	Servers  int // 0 = serial engine
 	Steps    int
+	// Faults, when non-nil, installs a seeded fault plan on the simulated
+	// kernel.  A fresh plan is created per run, so re-running the same spec
+	// replays the identical fault schedule.
+	Faults *fault.Config
 }
 
 // RunOutcome is the measured outcome of a run.
@@ -35,6 +40,9 @@ type RunOutcome struct {
 	// Recorder holds the full classified timelines for timeline charts
 	// and middleware metrics.
 	Recorder *trace.Recorder
+	// FaultStats counts the faults injected during the run (zero value
+	// when RunSpec.Faults was nil).
+	FaultStats fault.Stats
 }
 
 // Run executes one run and aggregates its execution-time breakdown.
@@ -43,6 +51,11 @@ type RunOutcome struct {
 func Run(spec RunSpec) (RunOutcome, error) {
 	rec := trace.NewRecorder()
 	sim := pvm.NewSimVM(spec.Platform, rec)
+	var plan *fault.Plan
+	if spec.Faults != nil {
+		plan = fault.NewPlan(*spec.Faults)
+		sim.SetFaults(plan)
+	}
 	var res *md.Result
 	var runErr error
 	opts := spec.Opts
@@ -60,6 +73,9 @@ func Run(spec RunSpec) (RunOutcome, error) {
 		return RunOutcome{}, runErr
 	}
 	out := RunOutcome{Result: res, Wall: res.StepSeconds, Recorder: rec}
+	if plan != nil {
+		out.FaultStats = plan.Stats()
+	}
 	// Aggregate only the simulation window, excluding the amortized
 	// initialization and the shutdown handshake.
 	out.Breakdown = trace.ComputeBreakdownBetween(rec, 0, res.ServerTIDs,

@@ -10,6 +10,7 @@ package md
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"opalperf/internal/forcefield"
 	"opalperf/internal/hpm"
@@ -77,6 +78,36 @@ type Options struct {
 	// once the infinity norm of the gradient falls below it
 	// (kcal/mol/A); Result.Converged records whether it was reached.
 	GradTol float64
+	// FaultTolerant enables graceful degradation of the parallel engine:
+	// every RPC phase runs under a call timeout, and when a server stops
+	// answering the client drops it, re-initializes the survivors with
+	// the dead server's pair rows redistributed (the pseudo-random
+	// distribution recomputed over the smaller server set), refreshes
+	// their pair lists and redoes the failed phase.  The whole window is
+	// attributed as recovery (Result.RecoverySeconds; vm.SegRecovery on
+	// fabrics that record timelines).  Requires Accounting off — a
+	// retried call would desynchronize the phase barriers.  Only
+	// effective on fabrics with real receive deadlines (the network
+	// fabric); elsewhere replies cannot be lost and the options are
+	// inert.
+	FaultTolerant bool
+	// CallTimeout bounds each reply wait in fault-tolerant mode (default
+	// 250ms); CallRetries is the number of idempotent resends before a
+	// server is declared dead.  Choose CallTimeout well above the slowest
+	// honest phase: a false positive orphans a healthy server.
+	CallTimeout time.Duration
+	CallRetries int
+	// ServerQuit, when non-nil, hands each spawned server a cooperative
+	// kill switch keyed by instance index: closing the returned channel
+	// makes that server exit between requests.  Chaos tests use it to
+	// kill live servers; nil (and nil returns) mean servers run until the
+	// shutdown handshake.  Takes effect only when the servers run the
+	// closure passed to Spawn (local fabric, or a network session without
+	// a remote spawn host).
+	ServerQuit func(instance int) <-chan struct{}
+	// AfterStep, when set, runs on the client after every completed step
+	// — chaos tests use it to trigger failures at a deterministic point.
+	AfterStep func(step int, info StepInfo)
 }
 
 func (o Options) withDefaults() Options {
@@ -88,6 +119,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StepSize <= 0 {
 		o.StepSize = 0.02
+	}
+	if o.FaultTolerant && o.CallTimeout <= 0 {
+		o.CallTimeout = 250 * time.Millisecond
 	}
 	return o
 }
@@ -128,6 +162,12 @@ type Result struct {
 	// Converged reports that the minimizer reached Options.GradTol
 	// before exhausting its step budget.
 	Converged bool
+	// Recoveries counts server deaths the fault-tolerant client survived;
+	// RecoverySeconds is the client time spent detecting them and
+	// re-initializing the survivors; LostTIDs lists the dropped servers.
+	Recoveries      int
+	RecoverySeconds float64
+	LostTIDs        []int
 }
 
 // FinalEnergy returns the total energy of the last step.

@@ -7,14 +7,16 @@ package md
 //
 // The protocol follows Section 2.1 of the paper: init replicates the
 // global non-bonded interaction parameters on every server once at
-// start-up; update ships the atom coordinates and triggers the rebuild of
+// start-up, with an explicit rank in the pseudo-random pair distribution
+// so a fault-tolerant client can re-initialize survivors over a smaller
+// server set; update ships the atom coordinates and triggers the rebuild of
 // the server's list of all active pairs; nbint ships the coordinates and
 // returns the partial Van der Waals and Coulomb energies plus the
 // gradient of the atomic interaction potential (eqs. 7-9 of the model).
 const OpalIDL = `
 // Parallel Opal remote interface (Sciddle IDL).
 service Opal {
-    init(n int, nsolute int, kinds []int64, types []int64, charges []float64, c12 []float64, c6 []float64, excl []int64, cutoff float64, box float64, celllist int, strategy int, seed int, nservers int) ()
+    init(n int, nsolute int, kinds []int64, types []int64, charges []float64, c12 []float64, c6 []float64, excl []int64, cutoff float64, box float64, celllist int, strategy int, seed int, rank int, nservers int) ()
     update(coords []float64) (checks int)
     nbint(coords []float64) (evdw float64, ecoul float64, grad []float64, npairs int)
 }

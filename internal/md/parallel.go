@@ -1,6 +1,7 @@
 package md
 
 import (
+	"errors"
 	"fmt"
 
 	"opalperf/internal/forcefield"
@@ -25,12 +26,23 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 	}
 
 	accounting := opts.Accounting
+	ft := opts.FaultTolerant
+	if ft && accounting {
+		return nil, fmt.Errorf("md: fault tolerance requires Accounting off (a retried call would desynchronize the phase barriers)")
+	}
 	parties := nservers + 1
 	tids := t.Spawn("opal-server", nservers, func(st pvm.Task) {
-		ServeOpal(st, accounting, parties)
+		var quit <-chan struct{}
+		if opts.ServerQuit != nil {
+			quit = opts.ServerQuit(st.Instance())
+		}
+		ServeOpalOpts(st, sciddle.ServeOptions{Accounting: accounting, Parties: parties, Quit: quit})
 	})
 	conn := sciddle.Connect(t, tids)
 	conn.SetAccounting(accounting)
+	if ft {
+		conn.SetCallTimeout(opts.CallTimeout, opts.CallRetries)
+	}
 	client := opalrpc.NewOpalClient(conn)
 
 	// Replicate the global data (amortized start-up).
@@ -41,15 +53,16 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 		types[i] = int64(sys.Type[i])
 		kinds[i] = int64(sys.Kind[i])
 	}
-	client.InitPhase(func(i int) *pvm.Buffer {
+	initArgs := func(rank, nsrv int) *pvm.Buffer {
 		cell := 0
 		if opts.CellList && sys.CutoffEffective(opts.Cutoff) {
 			cell = 1
 		}
 		return opalrpc.PackOpalInitArgs(sys.N, sys.NSolute, kinds, types,
 			sys.Charge, d.lj.C12, d.lj.C6, d.excl.Keys(), opts.Cutoff, sys.Box,
-			cell, int(opts.Strategy), int(opts.Seed), nservers)
-	})
+			cell, int(opts.Strategy), int(opts.Seed), rank, nsrv)
+	}
+	client.InitPhase(func(i int) *pvm.Buffer { return initArgs(i, nservers) })
 
 	if opts.AfterInit != nil {
 		opts.AfterInit()
@@ -68,26 +81,103 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 	nbintReps := make([]opalrpc.OpalNbintReply, nservers)
 	packUpdate := func(i int, args *pvm.Buffer) { opalrpc.PackOpalUpdateArgsInto(args, c.pos) }
 	packNbint := func(i int, args *pvm.Buffer) { opalrpc.PackOpalNbintArgsInto(args, c.pos) }
+
+	// recoverFrom handles one detected server death in fault-tolerant
+	// mode: drop the dead server, re-initialize the survivors with its
+	// pair rows redistributed (the pseudo-random distribution recomputed
+	// over the smaller server set), rebuild their lists from the current
+	// coordinates and attribute the whole window as recovery.  Further
+	// deaths during recovery cascade through the loop.
+	recoverFrom := func(se *sciddle.ServerError) error {
+		start := t.Now()
+		for {
+			res.LostTIDs = append(res.LostTIDs, se.TID)
+			conn.DropServer(se.Server)
+			nsrv := conn.NumServers()
+			if nsrv == 0 {
+				return fmt.Errorf("md: all servers lost: %w", se)
+			}
+			err := func() error {
+				for i := 0; i < nsrv; i++ {
+					if _, err := conn.CallErr(i, "init", initArgs(i, nsrv)); err != nil {
+						return err
+					}
+				}
+				// Re-initialized lists are empty; rebuild them from the
+				// current coordinates before any phase is redone.
+				return client.UpdatePhaseIntoErr(packUpdate, updateReps[:nsrv])
+			}()
+			if err == nil {
+				break
+			}
+			next := (*sciddle.ServerError)(nil)
+			if !errors.As(err, &next) {
+				return err
+			}
+			se = next
+		}
+		end := t.Now()
+		res.Recoveries++
+		res.RecoverySeconds += end - start
+		pvm.ReportRecovery(t, start, end)
+		return nil
+	}
+	// runPhase executes one RPC phase, surviving server deaths when fault
+	// tolerance is on.  phase must re-slice its reply slots on each
+	// attempt: recovery shrinks the server set.
+	runPhase := func(phase func() error) error {
+		for {
+			err := phase()
+			if err == nil {
+				return nil
+			}
+			se := (*sciddle.ServerError)(nil)
+			if !ft || !errors.As(err, &se) {
+				return err
+			}
+			if rerr := recoverFrom(se); rerr != nil {
+				return rerr
+			}
+		}
+	}
+
 	for step := 0; step < steps; step++ {
 		info := StepInfo{}
 		if step%opts.UpdateEvery == 0 {
 			// Update phase: ship coordinates, servers rebuild their
 			// lists; the reply carries no data beyond the completion
 			// signal (eq. 8 of the model).
-			client.UpdatePhaseInto(packUpdate, updateReps)
-			for _, r := range updateReps {
+			if ft {
+				if err := runPhase(func() error {
+					return client.UpdatePhaseIntoErr(packUpdate, updateReps[:conn.NumServers()])
+				}); err != nil {
+					return nil, err
+				}
+			} else {
+				client.UpdatePhaseInto(packUpdate, updateReps)
+			}
+			for _, r := range updateReps[:conn.NumServers()] {
 				info.PairChecks += r.Checks
 			}
 			info.Updated = true
 		}
 		// Energy evaluation phase: coordinates out, partial energies and
 		// gradients back (eqs. 7 and 9).
-		client.NbintPhaseInto(packNbint, nbintReps)
+		if ft {
+			if err := runPhase(func() error {
+				return client.NbintPhaseIntoErr(packNbint, nbintReps[:conn.NumServers()])
+			}); err != nil {
+				return nil, err
+			}
+		} else {
+			client.NbintPhaseInto(packNbint, nbintReps)
+		}
 		for i := range grad {
 			grad[i] = 0
 		}
 		var evdw, ecoul float64
-		for r := range nbintReps {
+		nsrv := conn.NumServers()
+		for r := range nbintReps[:nsrv] {
 			evdw += nbintReps[r].Evdw
 			ecoul += nbintReps[r].Ecoul
 			info.ActivePairs += nbintReps[r].Npairs
@@ -96,7 +186,7 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 			}
 		}
 		// The gather-and-sum is client work.
-		t.Charge("reduce", forcefield.ReduceOps.Times(float64(3*sys.N*nservers)))
+		t.Charge("reduce", forcefield.ReduceOps.Times(float64(3*sys.N*nsrv)))
 		fin := c.finishStep(t, evdw, ecoul, grad)
 		fin.PairChecks = info.PairChecks
 		fin.Updated = info.Updated
@@ -107,6 +197,9 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 			}
 		}
 		res.Steps = append(res.Steps, fin)
+		if opts.AfterStep != nil {
+			opts.AfterStep(step, fin)
+		}
 		if opts.Minimize && opts.GradTol > 0 && fin.GradMax < opts.GradTol {
 			res.Converged = true
 			break

@@ -28,18 +28,31 @@ type opalServer struct {
 // closes the connection.  accounting must match the client's setting;
 // parties is servers+1.
 func ServeOpal(t pvm.Task, accounting bool, parties int) {
+	ServeOpalOpts(t, sciddle.ServeOptions{Accounting: accounting, Parties: parties})
+}
+
+// ServeOpalOpts is ServeOpal with full control over the serve options —
+// in particular the cooperative Quit switch chaos tests use to kill live
+// servers.
+func ServeOpalOpts(t pvm.Task, opt sciddle.ServeOptions) {
 	svc := sciddle.NewService("Opal")
 	opalrpc.RegisterOpal(svc, &opalServer{})
-	sciddle.Serve(t, svc, sciddle.ServeOptions{Accounting: accounting, Parties: parties})
+	sciddle.Serve(t, svc, opt)
 }
 
 // Init receives the replicated global data (Section 2.6: the solute-solute,
 // solute-solvent and solvent-solvent interaction parameters), computes the
 // server's row assignment from the pseudo-random distribution and sets up
 // the empty pair list.  Its cost is amortized over the simulation.
+//
+// rank is the server's position in the distribution, passed explicitly
+// rather than derived from the spawn instance: after a server death the
+// fault-tolerant client re-initializes the survivors over the smaller
+// server set, and a survivor's rank there generally differs from its
+// instance index.  Init is idempotent, so re-initialization is safe.
 func (s *opalServer) Init(t pvm.Task, n, nsolute int, kinds, types []int64,
 	charges, c12, c6 []float64, excl []int64, cutoff, box float64,
-	celllist, strategy, seed, nservers int) {
+	celllist, strategy, seed, rank, nservers int) {
 
 	s.box = box
 	s.cellList = celllist != 0
@@ -65,7 +78,7 @@ func (s *opalServer) Init(t pvm.Task, n, nsolute int, kinds, types []int64,
 		cutoff: cutoff,
 	}
 	owners := pairlist.Owners(n, nservers, pairlist.Strategy(strategy), int64(seed))
-	rows := pairlist.RowsOf(owners, t.Instance())
+	rows := pairlist.RowsOf(owners, rank)
 	s.list = pairlist.NewList(n, rows)
 	s.pos = make([]float64, 3*n)
 	s.grad = make([]float64, 3*n)

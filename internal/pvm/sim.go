@@ -2,6 +2,7 @@ package pvm
 
 import (
 	"fmt"
+	"time"
 
 	"opalperf/internal/hpm"
 	"opalperf/internal/platform"
@@ -40,6 +41,11 @@ func NewSimVMComm(pl *platform.Platform, comm vm.CommModel, rec *trace.Recorder)
 		Recorder: rec,
 	}
 }
+
+// SetFaults installs a fault model on the underlying kernel (see
+// vm.FaultModel; internal/fault.Plan is the seeded implementation).  Must
+// be called before Run; nil disables injection.
+func (s *SimVM) SetFaults(fm vm.FaultModel) { s.Kernel.SetFaults(fm) }
 
 // SpawnRoot registers a root task before Run.
 func (s *SimVM) SpawnRoot(name string, fn func(Task)) int {
@@ -123,6 +129,22 @@ func (t *simTask) Recv(src, tag int) (*Buffer, int, int) {
 	// sender's buffer directly — no wrapper allocation.
 	b.pos = 0
 	return b, msrc, mtag
+}
+
+// RecvTimeout implements DeadlineRecver.  Simulated messages are never
+// lost (faults only stretch virtual time), so the deadline is moot and
+// the call never fails — timeouts firing would break determinism.
+func (t *simTask) RecvTimeout(src, tag int, _ time.Duration) (*Buffer, int, int, error) {
+	b, s, g := t.Recv(src, tag)
+	return b, s, g, nil
+}
+
+// ReportRecovery implements RecoveryReporter by attributing the window
+// to the task's simulated timeline.
+func (t *simTask) ReportRecovery(start, end float64) {
+	if t.vm.Recorder != nil && end > start {
+		t.vm.Recorder.Segment(t.TID(), t.Name(), vm.SegRecovery, start, end)
+	}
 }
 
 func (t *simTask) Probe(src, tag int) bool {

@@ -1,6 +1,10 @@
 package pvm
 
-import "opalperf/internal/hpm"
+import (
+	"time"
+
+	"opalperf/internal/hpm"
+)
 
 // Task is one PVM task.  Both fabrics implement it; application code (the
 // Opal client and servers, the Sciddle runtime) is written against this
@@ -49,4 +53,40 @@ type Task interface {
 	Now() float64
 	// Monitor returns the task's hardware performance monitor.
 	Monitor() *hpm.Monitor
+}
+
+// DeadlineRecver is the optional receive-with-deadline capability.  All
+// three fabrics implement it: on the network fabric the timeout is real
+// and a partitioned session returns its error immediately; on the
+// simulated and local fabrics messages cannot be lost, so the call simply
+// delegates to Recv and never fails — which keeps code written against
+// this interface (e.g. the Sciddle call-timeout path) deterministic when
+// simulated.
+type DeadlineRecver interface {
+	RecvTimeout(src, tag int, d time.Duration) (*Buffer, int, int, error)
+}
+
+// RecvDeadline receives with a deadline when the fabric supports one and
+// falls back to a plain blocking Recv otherwise.
+func RecvDeadline(t Task, src, tag int, d time.Duration) (*Buffer, int, int, error) {
+	if dr, ok := t.(DeadlineRecver); ok {
+		return dr.RecvTimeout(src, tag, d)
+	}
+	b, s, g := t.Recv(src, tag)
+	return b, s, g, nil
+}
+
+// RecoveryReporter is the optional capability to attribute a time window
+// — e.g. the client-side re-initialization after a server death — to the
+// task's recorded timeline as recovery (vm.SegRecovery).
+type RecoveryReporter interface {
+	ReportRecovery(start, end float64)
+}
+
+// ReportRecovery attributes [start, end] as recovery time on fabrics that
+// record timelines, and is a no-op elsewhere.
+func ReportRecovery(t Task, start, end float64) {
+	if rr, ok := t.(RecoveryReporter); ok {
+		rr.ReportRecovery(start, end)
+	}
 }

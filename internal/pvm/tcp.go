@@ -22,9 +22,21 @@ import (
 
 const sessionStride = 1 << 16
 
+// DaemonOptions tunes the daemon's failure detection.  The zero value
+// keeps the historical behaviour: no read deadlines, sessions retained
+// for resumption until they say goodbye.
+type DaemonOptions struct {
+	// IdleTimeout, when positive, detaches a session whose connection has
+	// been silent for this long (sessions with heartbeats enabled refresh
+	// it with pings).  A detached session is kept for resumption; its
+	// outbound frames queue up meanwhile.
+	IdleTimeout time.Duration
+}
+
 // Daemon is the message router.
 type Daemon struct {
-	ln net.Listener
+	ln   net.Listener
+	opts DaemonOptions
 
 	mu       sync.Mutex
 	sessions map[int]*daemonConn
@@ -35,10 +47,27 @@ type Daemon struct {
 	closed   bool
 }
 
+// daemonConn is one session's server-side state.  The session outlives
+// any single TCP connection: when the conn breaks the session detaches
+// (conn == nil) and sequenced outbound frames accumulate in unacked
+// until the client resumes with frameResume.
 type daemonConn struct {
-	id   int
+	id  int
+	wmu sync.Mutex
+	// conn is the live connection, nil while detached.
 	conn net.Conn
-	wmu  sync.Mutex
+	// done is closed when the serve loop of the current conn exits; a
+	// resume waits on it so no two readers process one session at once.
+	done chan struct{}
+	// sendSeq counts sequenced frames sent (or queued) to the session;
+	// recvSeq counts sequenced frames received and processed from it.
+	sendSeq, recvSeq uint64
+	// unacked retains sent sequenced frames until the client acks them
+	// (via frameAck or the seq piggybacked on pings); on resume, frames
+	// beyond the client's acked point are replayed.
+	unacked []frameRec
+	// sinceAck counts received sequenced frames since the last ack sent.
+	sinceAck int
 }
 
 type daemonBarrier struct {
@@ -50,12 +79,18 @@ type daemonBarrier struct {
 // NewDaemon starts a daemon on addr ("127.0.0.1:0" for an ephemeral
 // port).  Use Addr to discover the bound address.
 func NewDaemon(addr string) (*Daemon, error) {
+	return NewDaemonOpts(addr, DaemonOptions{})
+}
+
+// NewDaemonOpts starts a daemon with explicit failure-detection options.
+func NewDaemonOpts(addr string, opts DaemonOptions) (*Daemon, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	d := &Daemon{
 		ln:       ln,
+		opts:     opts,
 		sessions: make(map[int]*daemonConn),
 		hosts:    make(map[string][]int),
 		rrSpawn:  make(map[string]int),
@@ -79,7 +114,11 @@ func (d *Daemon) Close() {
 	d.mu.Unlock()
 	d.ln.Close()
 	for _, c := range conns {
-		c.conn.Close()
+		c.wmu.Lock()
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		c.wmu.Unlock()
 	}
 }
 
@@ -96,7 +135,32 @@ func (d *Daemon) acceptLoop() {
 func (d *Daemon) send(c *daemonConn, typ byte, body []byte) {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	_ = writeFrame(c.conn, typ, body)
+	if sequenced(typ) {
+		c.sendSeq++
+		c.unacked = append(c.unacked, frameRec{seq: c.sendSeq, typ: typ, body: body})
+	}
+	if c.conn == nil {
+		// Detached: sequenced frames wait in unacked for the resume;
+		// control frames are droppable by design.
+		return
+	}
+	if err := writeFrame(c.conn, typ, body); err != nil {
+		// Broken mid-write: detach.  The retained copy in unacked will be
+		// replayed when the session resumes on a fresh connection.
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// trimAcked drops retained frames up to and including seq acked.
+func (c *daemonConn) trimAcked(acked uint64) {
+	c.wmu.Lock()
+	i := 0
+	for i < len(c.unacked) && c.unacked[i].seq <= acked {
+		i++
+	}
+	c.unacked = c.unacked[i:]
+	c.wmu.Unlock()
 }
 
 func (d *Daemon) sessionFor(tid int) *daemonConn {
@@ -106,34 +170,126 @@ func (d *Daemon) sessionFor(tid int) *daemonConn {
 }
 
 func (d *Daemon) serve(conn net.Conn) {
-	// Handshake.
-	typ, _, err := readFrame(conn)
-	if err != nil || typ != frameHello {
+	// Handshake: a fresh session says hello, a reconnecting one resumes.
+	// Either way the peer must speak within a bounded window so a silent
+	// connection cannot pin this goroutine forever.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	typ, body, err := readFrame(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil {
 		conn.Close()
 		return
+	}
+	var c *daemonConn
+	done := make(chan struct{})
+	switch typ {
+	case frameHello:
+		d.mu.Lock()
+		if d.closed {
+			d.mu.Unlock()
+			conn.Close()
+			return
+		}
+		d.nextID++
+		c = &daemonConn{id: d.nextID, conn: conn, done: done}
+		d.sessions[c.id] = c
+		d.mu.Unlock()
+		d.send(c, frameWelcome, appendU32(nil, uint32(c.id)))
+	case frameResume:
+		c = d.resume(conn, body, done)
+		if c == nil {
+			conn.Close()
+			return
+		}
+	default:
+		conn.Close()
+		return
+	}
+	d.serveLoop(c, conn, done)
+}
+
+// resume attaches conn to an existing detached (or stale-connected)
+// session and replays the frames the client has not acknowledged.
+func (d *Daemon) resume(conn net.Conn, body []byte, done chan struct{}) *daemonConn {
+	sid, rest, err := readU32(body)
+	if err != nil {
+		return nil
+	}
+	clientRecv, _, err := readU64(rest)
+	if err != nil {
+		return nil
 	}
 	d.mu.Lock()
-	if d.closed {
-		d.mu.Unlock()
-		conn.Close()
-		return
-	}
-	d.nextID++
-	c := &daemonConn{id: d.nextID, conn: conn}
-	d.sessions[c.id] = c
+	c := d.sessions[int(sid)]
+	closed := d.closed
 	d.mu.Unlock()
-	d.send(c, frameWelcome, appendU32(nil, uint32(c.id)))
+	if c == nil || closed {
+		return nil
+	}
+	// Kick out a stale connection and wait for its reader to finish, so
+	// recvSeq is stable before we tell the client what we have seen.
+	c.wmu.Lock()
+	old, oldDone := c.conn, c.done
+	c.conn = nil
+	c.wmu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	if oldDone != nil {
+		<-oldDone
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := writeFrame(conn, frameResumeOK, appendU64(nil, c.recvSeq)); err != nil {
+		return nil
+	}
+	for _, f := range c.unacked {
+		if f.seq <= clientRecv {
+			continue
+		}
+		if err := writeFrame(conn, f.typ, f.body); err != nil {
+			return nil
+		}
+	}
+	c.conn = conn
+	c.done = done
+	return c
+}
 
+func (d *Daemon) serveLoop(c *daemonConn, conn net.Conn, done chan struct{}) {
 	defer func() {
-		d.mu.Lock()
-		delete(d.sessions, c.id)
-		d.mu.Unlock()
+		c.wmu.Lock()
+		if c.conn == conn {
+			// Detach rather than delete: the session's tids, barriers and
+			// queued frames survive until the client resumes (or the
+			// daemon shuts down).  Only frameBye removes a session.
+			c.conn = nil
+		}
+		c.wmu.Unlock()
 		conn.Close()
+		close(done)
 	}()
 	for {
+		if d.opts.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(d.opts.IdleTimeout))
+		}
 		typ, body, err := readFrame(conn)
 		if err != nil {
 			return
+		}
+		if sequenced(typ) {
+			c.wmu.Lock()
+			c.recvSeq++
+			c.sinceAck++
+			ack := c.sinceAck >= ackEvery
+			if ack {
+				c.sinceAck = 0
+			}
+			seq := c.recvSeq
+			c.wmu.Unlock()
+			if ack {
+				d.send(c, frameAck, appendU64(nil, seq))
+			}
 		}
 		switch typ {
 		case frameMsg:
@@ -153,7 +309,16 @@ func (d *Daemon) serve(conn net.Conn) {
 				return
 			}
 			d.mu.Lock()
-			d.hosts[name] = append(d.hosts[name], c.id)
+			dup := false
+			for _, id := range d.hosts[name] {
+				if id == c.id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				d.hosts[name] = append(d.hosts[name], c.id)
+			}
 			d.mu.Unlock()
 			d.send(c, frameRegAck, nil)
 		case frameSpawnReq:
@@ -167,7 +332,26 @@ func (d *Daemon) serve(conn net.Conn) {
 			if target := d.sessionFor(int(req)); target != nil {
 				d.send(target, frameSpawnRep, body)
 			}
+		case framePing:
+			if acked, _, err := readU64(body); err == nil {
+				c.trimAcked(acked)
+			}
+			c.wmu.Lock()
+			seq := c.recvSeq
+			c.wmu.Unlock()
+			d.send(c, framePong, appendU64(nil, seq))
+		case framePong:
+			if acked, _, err := readU64(body); err == nil {
+				c.trimAcked(acked)
+			}
+		case frameAck:
+			if acked, _, err := readU64(body); err == nil {
+				c.trimAcked(acked)
+			}
 		case frameBye:
+			d.mu.Lock()
+			delete(d.sessions, c.id)
+			d.mu.Unlock()
 			return
 		}
 	}
@@ -249,13 +433,61 @@ func (d *Daemon) handleSpawnReq(from *daemonConn, body []byte) {
 	d.send(host, frameSpawnFwd, fwd)
 }
 
+// TCPOptions tunes a session's failure handling.  The zero value matches
+// the historical behaviour plus bounded reconnects with session
+// resumption (heartbeats stay opt-in so short-lived test sessions do not
+// pay a liveness protocol they don't need).
+type TCPOptions struct {
+	// Dial overrides how the session (re)connects to the daemon — the
+	// injection point for fault.Dialer in chaos tests.  nil means plain
+	// net.Dial("tcp", addr).
+	Dial func(addr string) (net.Conn, error)
+	// Heartbeat, when positive, sends a ping every interval and treats a
+	// connection with no inbound traffic for 3 intervals as dead
+	// (triggering a reconnect).
+	Heartbeat time.Duration
+	// MaxReconnects bounds the reconnect attempts per outage before the
+	// session is declared permanently down (default 8, exponential
+	// backoff 5ms..500ms).  Negative disables reconnecting entirely.
+	MaxReconnects int
+	// HandshakeTimeout bounds the welcome/resume exchange (default 5s).
+	HandshakeTimeout time.Duration
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.Dial == nil {
+		o.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if o.MaxReconnects == 0 {
+		o.MaxReconnects = 8
+	}
+	if o.HandshakeTimeout == 0 {
+		o.HandshakeTimeout = 5 * time.Second
+	}
+	return o
+}
+
 // TCPVM is one session of the network fabric: it hosts local tasks (real
 // goroutines) whose messages to non-local task ids travel through the
-// daemon.
+// daemon.  The session survives connection loss: sequenced frames are
+// retained until acked and replayed over a resumed connection, so task
+// ids and undelivered messages outlive any single TCP connection.
 type TCPVM struct {
-	conn net.Conn
+	addr string
+	opts TCPOptions
 	id   int
-	wmu  sync.Mutex
+
+	// wmu guards the connection, the sequence counters and the replay
+	// buffer.  conn is nil while disconnected (writes queue in unacked).
+	wmu              sync.Mutex
+	conn             net.Conn
+	sendSeq, recvSeq uint64
+	unacked          []frameRec
+	sinceAck         int
+	err              error // permanent failure, set once
+
+	stopOnce sync.Once
+	stopc    chan struct{} // closed on Close or permanent failure
 
 	mu       sync.Mutex
 	tasks    map[int]*tcpTask
@@ -277,10 +509,18 @@ type tcpBarrier struct {
 
 // ConnectTCP joins the daemon at addr and returns a session.
 func ConnectTCP(addr string) (*TCPVM, error) {
-	conn, err := net.Dial("tcp", addr)
+	return ConnectTCPOpts(addr, TCPOptions{})
+}
+
+// ConnectTCPOpts joins the daemon at addr with explicit failure-handling
+// options.
+func ConnectTCPOpts(addr string, opts TCPOptions) (*TCPVM, error) {
+	opts = opts.withDefaults()
+	conn, err := opts.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
+	conn.SetDeadline(time.Now().Add(opts.HandshakeTimeout))
 	if err := writeFrame(conn, frameHello, nil); err != nil {
 		conn.Close()
 		return nil, err
@@ -295,9 +535,13 @@ func ConnectTCP(addr string) (*TCPVM, error) {
 		conn.Close()
 		return nil, err
 	}
+	conn.SetDeadline(time.Time{})
 	v := &TCPVM{
+		addr:     addr,
+		opts:     opts,
 		conn:     conn,
 		id:       int(id),
+		stopc:    make(chan struct{}),
 		tasks:    make(map[int]*tcpTask),
 		spawnFns: make(map[string]func(Task)),
 		barriers: make(map[string]*tcpBarrier),
@@ -305,8 +549,54 @@ func ConnectTCP(addr string) (*TCPVM, error) {
 		regAck:   make(chan struct{}, 16),
 		start:    time.Now(),
 	}
-	go v.readLoop()
+	go v.readLoop(conn)
+	if opts.Heartbeat > 0 {
+		go v.heartbeatLoop()
+	}
 	return v, nil
+}
+
+// Err returns the session's permanent failure, or nil while it is (or
+// may again become) usable.
+func (v *TCPVM) Err() error {
+	v.wmu.Lock()
+	defer v.wmu.Unlock()
+	return v.err
+}
+
+// fail marks the session permanently down and wakes every blocked task
+// so a partitioned peer yields an error instead of a hang.
+func (v *TCPVM) fail(err error) {
+	v.wmu.Lock()
+	if v.err == nil {
+		v.err = err
+	}
+	if v.conn != nil {
+		v.conn.Close()
+		v.conn = nil
+	}
+	v.wmu.Unlock()
+	v.stopOnce.Do(func() { close(v.stopc) })
+	v.mu.Lock()
+	tasks := make([]*tcpTask, 0, len(v.tasks))
+	for _, t := range v.tasks {
+		tasks = append(tasks, t)
+	}
+	bars := make([]*tcpBarrier, 0, len(v.barriers))
+	for _, b := range v.barriers {
+		bars = append(bars, b)
+	}
+	v.mu.Unlock()
+	for _, t := range tasks {
+		t.mu.Lock()
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	}
+	for _, b := range bars {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
 }
 
 // Close leaves the daemon.  Local tasks should have finished.
@@ -318,12 +608,139 @@ func (v *TCPVM) Close() {
 	}
 	v.closed = true
 	v.mu.Unlock()
-	v.write(frameBye, nil)
-	v.conn.Close()
+	v.stopOnce.Do(func() { close(v.stopc) })
+	v.wmu.Lock()
+	if v.conn != nil {
+		writeFrame(v.conn, frameBye, nil)
+		v.conn.Close()
+		v.conn = nil
+	}
+	v.wmu.Unlock()
 }
 
 // Wait blocks until all local tasks finish.
 func (v *TCPVM) Wait() { v.wg.Wait() }
+
+// connBroken detaches conn (if it is still current) and starts the
+// bounded reconnect.  Safe to call from any goroutine; only the caller
+// that actually detaches launches the reconnector.
+func (v *TCPVM) connBroken(conn net.Conn) {
+	v.wmu.Lock()
+	if v.conn != conn || v.err != nil {
+		v.wmu.Unlock()
+		return
+	}
+	v.conn = nil
+	noReconnect := v.opts.MaxReconnects < 0
+	v.wmu.Unlock()
+	conn.Close()
+	v.mu.Lock()
+	closed := v.closed
+	v.mu.Unlock()
+	if closed {
+		return
+	}
+	if noReconnect {
+		v.fail(fmt.Errorf("pvm: session %d: connection to daemon lost", v.id))
+		return
+	}
+	go v.reconnect()
+}
+
+// reconnect re-dials the daemon with exponential backoff and resumes the
+// session: both sides exchange how much they have received, then replay
+// the retained frames the other missed.
+func (v *TCPVM) reconnect() {
+	backoff := 5 * time.Millisecond
+	var lastErr error
+	for attempt := 0; attempt < v.opts.MaxReconnects; attempt++ {
+		select {
+		case <-v.stopc:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+		conn, err := v.opts.Dial(v.addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if v.resumeOn(conn) {
+			return
+		}
+		lastErr = fmt.Errorf("resume handshake failed")
+	}
+	v.fail(fmt.Errorf("pvm: session %d: reconnect gave up after %d attempts: %v",
+		v.id, v.opts.MaxReconnects, lastErr))
+}
+
+// resumeOn performs the resume handshake and replay on a fresh conn.
+func (v *TCPVM) resumeOn(conn net.Conn) bool {
+	conn.SetDeadline(time.Now().Add(v.opts.HandshakeTimeout))
+	v.wmu.Lock()
+	req := appendU32(nil, uint32(v.id))
+	req = appendU64(req, v.recvSeq)
+	v.wmu.Unlock()
+	if err := writeFrame(conn, frameResume, req); err != nil {
+		conn.Close()
+		return false
+	}
+	typ, body, err := readFrame(conn)
+	if err != nil || typ != frameResumeOK {
+		conn.Close()
+		return false
+	}
+	daemonRecv, _, err := readU64(body)
+	if err != nil {
+		conn.Close()
+		return false
+	}
+	conn.SetDeadline(time.Time{})
+	v.wmu.Lock()
+	for _, f := range v.unacked {
+		if f.seq <= daemonRecv {
+			continue
+		}
+		if err := writeFrame(conn, f.typ, f.body); err != nil {
+			v.wmu.Unlock()
+			conn.Close()
+			return false
+		}
+	}
+	v.conn = conn
+	v.wmu.Unlock()
+	go v.readLoop(conn)
+	return true
+}
+
+// trimAcked drops retained frames up to and including seq acked.
+func (v *TCPVM) trimAcked(acked uint64) {
+	v.wmu.Lock()
+	i := 0
+	for i < len(v.unacked) && v.unacked[i].seq <= acked {
+		i++
+	}
+	v.unacked = v.unacked[i:]
+	v.wmu.Unlock()
+}
+
+func (v *TCPVM) heartbeatLoop() {
+	tick := time.NewTicker(v.opts.Heartbeat)
+	defer tick.Stop()
+	for {
+		select {
+		case <-v.stopc:
+			return
+		case <-tick.C:
+			v.wmu.Lock()
+			seq := v.recvSeq
+			v.wmu.Unlock()
+			v.write(framePing, appendU64(nil, seq))
+		}
+	}
+}
 
 // RegisterSpawn announces that this session can host spawns of the given
 // name (the pvm_spawn executable registry).  It returns once the daemon
@@ -334,13 +751,30 @@ func (v *TCPVM) RegisterSpawn(name string, fn func(Task)) {
 	v.spawnFns[name] = fn
 	v.mu.Unlock()
 	v.write(frameRegHost, appendStr(nil, name))
-	<-v.regAck
+	select {
+	case <-v.regAck:
+	case <-v.stopc:
+	}
 }
 
 func (v *TCPVM) write(typ byte, body []byte) {
 	v.wmu.Lock()
-	defer v.wmu.Unlock()
-	_ = writeFrame(v.conn, typ, body)
+	if sequenced(typ) {
+		v.sendSeq++
+		v.unacked = append(v.unacked, frameRec{seq: v.sendSeq, typ: typ, body: body})
+	}
+	conn := v.conn
+	if conn == nil || v.err != nil {
+		// Disconnected: a sequenced frame waits in unacked for the resume
+		// replay; a control frame is droppable.
+		v.wmu.Unlock()
+		return
+	}
+	err := writeFrame(conn, typ, body)
+	v.wmu.Unlock()
+	if err != nil {
+		v.connBroken(conn)
+	}
 }
 
 // SpawnRoot starts a local task.
@@ -368,11 +802,47 @@ func (v *TCPVM) newTask(name string, parent, instance int) *tcpTask {
 	return t
 }
 
-func (v *TCPVM) readLoop() {
+func (v *TCPVM) readLoop(conn net.Conn) {
 	for {
-		typ, body, err := readFrame(v.conn)
+		if v.opts.Heartbeat > 0 {
+			conn.SetReadDeadline(time.Now().Add(3 * v.opts.Heartbeat))
+		}
+		typ, body, err := readFrame(conn)
 		if err != nil {
+			v.connBroken(conn)
 			return
+		}
+		switch typ {
+		case framePing:
+			v.wmu.Lock()
+			seq := v.recvSeq
+			v.wmu.Unlock()
+			v.write(framePong, appendU64(nil, seq))
+			continue
+		case framePong:
+			if acked, _, err := readU64(body); err == nil {
+				v.trimAcked(acked)
+			}
+			continue
+		case frameAck:
+			if acked, _, err := readU64(body); err == nil {
+				v.trimAcked(acked)
+			}
+			continue
+		}
+		if sequenced(typ) {
+			v.wmu.Lock()
+			v.recvSeq++
+			v.sinceAck++
+			ack := v.sinceAck >= ackEvery
+			if ack {
+				v.sinceAck = 0
+			}
+			seq := v.recvSeq
+			v.wmu.Unlock()
+			if ack {
+				v.write(frameAck, appendU64(nil, seq))
+			}
 		}
 		switch typ {
 		case frameMsg:
@@ -380,10 +850,12 @@ func (v *TCPVM) readLoop() {
 		case frameRelease:
 			name, rest, err := readStr(body)
 			if err != nil {
+				v.connBroken(conn)
 				return
 			}
 			count, _, err := readU32(rest)
 			if err != nil {
+				v.connBroken(conn)
 				return
 			}
 			b := v.barrier(name)
@@ -398,10 +870,12 @@ func (v *TCPVM) readLoop() {
 		case frameSpawnRep:
 			reqTid, rest, err := readU32(body)
 			if err != nil {
+				v.connBroken(conn)
 				return
 			}
 			n, rest, err := readU32(rest)
 			if err != nil {
+				v.connBroken(conn)
 				return
 			}
 			tids := make([]int, 0, n)
@@ -409,6 +883,7 @@ func (v *TCPVM) readLoop() {
 				var tid uint32
 				tid, rest, err = readU32(rest)
 				if err != nil {
+					v.connBroken(conn)
 					return
 				}
 				tids = append(tids, int(tid))
@@ -569,6 +1044,52 @@ func (t *tcpTask) Recv(src, tag int) (*Buffer, int, int) {
 				return m.buf.reader(), m.src, m.tag
 			}
 		}
+		if err := t.vm.Err(); err != nil {
+			// The session is permanently partitioned: with no error return
+			// in the Task interface, failing loudly is the liveness
+			// guarantee — a dead peer must never present as a silent hang.
+			// Callers that want an error use RecvTimeout.
+			panic(fmt.Sprintf("pvm: recv on dead session: %v", err))
+		}
+		t.cond.Wait()
+	}
+}
+
+// ErrRecvTimeout reports that RecvTimeout's window elapsed with no
+// matching message.
+var ErrRecvTimeout = fmt.Errorf("pvm: recv timed out")
+
+// RecvTimeout implements DeadlineRecver: it waits at most d for a
+// matching message and returns an error on timeout or when the session
+// is permanently down.  d <= 0 waits indefinitely (but still fails fast
+// on session death).
+func (t *tcpTask) RecvTimeout(src, tag int, d time.Duration) (*Buffer, int, int, error) {
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+		timer := time.AfterFunc(d, func() {
+			t.mu.Lock()
+			t.cond.Broadcast()
+			t.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		for i, m := range t.mailbox {
+			if matches(m, src, tag) {
+				t.mailbox = append(t.mailbox[:i], t.mailbox[i+1:]...)
+				t.lastMark = time.Now()
+				return m.buf.reader(), m.src, m.tag, nil
+			}
+		}
+		if err := t.vm.Err(); err != nil {
+			return nil, 0, 0, err
+		}
+		if d > 0 && !time.Now().Before(deadline) {
+			return nil, 0, 0, ErrRecvTimeout
+		}
 		t.cond.Wait()
 	}
 }
@@ -591,11 +1112,14 @@ func (t *tcpTask) Barrier(name string, parties int) {
 	t.vm.write(frameBarrier, body)
 	b := t.vm.barrier(name)
 	b.mu.Lock()
+	defer b.mu.Unlock()
 	for b.pending == 0 {
+		if err := t.vm.Err(); err != nil {
+			panic(fmt.Sprintf("pvm: barrier %q on dead session: %v", name, err))
+		}
 		b.cond.Wait()
 	}
 	b.pending--
-	b.mu.Unlock()
 }
 
 // Spawn asks the daemon for a host registered under name; if none exists
@@ -616,7 +1140,15 @@ func (t *tcpTask) Spawn(name string, n int, fn func(Task)) []int {
 	body = appendU32(body, uint32(n))
 	body = appendStr(body, name)
 	t.vm.write(frameSpawnReq, body)
-	tids := <-ch
+	var tids []int
+	select {
+	case tids = <-ch:
+	case <-t.vm.stopc:
+		if err := t.vm.Err(); err != nil {
+			panic(fmt.Sprintf("pvm: spawn %q on dead session: %v", name, err))
+		}
+		return nil
+	}
 	if len(tids) > 0 {
 		return tids
 	}

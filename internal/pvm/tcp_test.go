@@ -1,10 +1,14 @@
 package pvm
 
 import (
+	"net"
+	"runtime"
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
+	"opalperf/internal/fault"
 	"opalperf/internal/hpm"
 )
 
@@ -359,4 +363,352 @@ func TestTCPMessageToUnknownTIDIsDropped(t *testing.T) {
 	if !<-done {
 		t.Fatal("sender blocked")
 	}
+}
+
+// waitGoroutinesBack polls until the goroutine count returns to within
+// slack of base, failing the test after 5s.  A manual stand-in for a
+// leak-checker dependency: the transport's readers, reconnectors and
+// heartbeats must all exit on session teardown.
+func waitGoroutinesBack(t *testing.T, base, slack int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutines leaked: %d > base %d + slack %d\n%s", n, base, slack, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// killableDialer dials normally but remembers the most recent conn so a
+// test can sever it and force the reconnect path.
+type killableDialer struct {
+	mu   sync.Mutex
+	last net.Conn
+}
+
+func (k *killableDialer) dial(addr string) (net.Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	k.mu.Lock()
+	k.last = c
+	k.mu.Unlock()
+	return c, nil
+}
+
+func (k *killableDialer) kill() {
+	k.mu.Lock()
+	c := k.last
+	k.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// TestTCPResumeAfterConnKill severs a session's TCP connection mid-run.
+// The session must reconnect, resume its id, and deliver both the
+// messages queued during the outage and those sent after it.
+func TestTCPResumeAfterConnKill(t *testing.T) {
+	d, err := NewDaemon("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	kd := &killableDialer{}
+	a, err := ConnectTCPOpts(d.Addr(), TCPOptions{Dial: kd.dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ConnectTCP(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	aReady := make(chan int, 1)
+	got := make(chan float64, 2)
+	a.SpawnRoot("receiver", func(task Task) {
+		aReady <- task.TID()
+		for i := 0; i < 2; i++ {
+			buf, _, _ := task.Recv(AnySrc, 7)
+			got <- buf.MustFloat64()
+		}
+	})
+	aTID := <-aReady
+
+	// Sever a's connection.  The daemon detaches the session; b's sends
+	// queue up server-side until a resumes.
+	kd.kill()
+	b.SpawnRoot("sender", func(task Task) {
+		task.Send(aTID, 7, NewBuffer().PackFloat64(1.5))
+		task.Send(aTID, 7, NewBuffer().PackFloat64(2.5))
+	})
+	sum := 0.0
+	for i := 0; i < 2; i++ {
+		select {
+		case v := <-got:
+			sum += v
+		case <-time.After(10 * time.Second):
+			t.Fatalf("message %d lost across reconnect (session err: %v)", i, a.Err())
+		}
+	}
+	if sum != 4 {
+		t.Fatalf("sum = %v, want 4", sum)
+	}
+	if err := a.Err(); err != nil {
+		t.Fatalf("session marked dead after successful resume: %v", err)
+	}
+	a.Wait()
+	b.Wait()
+}
+
+// TestTCPResumeKeepsClientQueuedSends: frames the client wrote while
+// disconnected replay to the daemon on resume.
+func TestTCPResumeKeepsClientQueuedSends(t *testing.T) {
+	d, err := NewDaemon("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	kd := &killableDialer{}
+	a, err := ConnectTCPOpts(d.Addr(), TCPOptions{Dial: kd.dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ConnectTCP(d.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	bReady := make(chan int, 1)
+	got := make(chan float64, 1)
+	b.SpawnRoot("receiver", func(task Task) {
+		bReady <- task.TID()
+		buf, _, _ := task.Recv(AnySrc, 9)
+		got <- buf.MustFloat64()
+	})
+	bTID := <-bReady
+
+	kd.kill()
+	a.SpawnRoot("sender", func(task Task) {
+		// Likely written into the outage window; must survive via replay.
+		task.Send(bTID, 9, NewBuffer().PackFloat64(6.25))
+	})
+	select {
+	case v := <-got:
+		if v != 6.25 {
+			t.Fatalf("payload = %v", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("send during outage lost (session err: %v)", a.Err())
+	}
+	a.Wait()
+	b.Wait()
+}
+
+// TestTCPFaultDialerPartialWrites runs a full echo exchange over
+// connections that fragment every write into tiny chunks: the frame
+// decoder must reassemble streams regardless of write boundaries.
+func TestTCPFaultDialerPartialWrites(t *testing.T) {
+	d, err := NewDaemon("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	dial := fault.Dialer(fault.NetConfig{Seed: 11, PartialWriteRate: 1, MaxChunk: 3})
+	a, err := ConnectTCPOpts(d.Addr(), TCPOptions{Dial: dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ConnectTCPOpts(d.Addr(), TCPOptions{Dial: dial})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	ready := make(chan int, 1)
+	b.SpawnRoot("echo", func(task Task) {
+		ready <- task.TID()
+		buf, src, _ := task.Recv(AnySrc, 3)
+		task.Send(src, 4, NewBuffer().PackFloat64s(buf.MustFloat64s()))
+	})
+	echoTID := <-ready
+	got := make(chan []float64, 1)
+	a.SpawnRoot("client", func(task Task) {
+		xs := make([]float64, 300)
+		for i := range xs {
+			xs[i] = float64(i) / 7
+		}
+		task.Send(echoTID, 3, NewBuffer().PackFloat64s(xs))
+		rep, _, _ := task.Recv(echoTID, 4)
+		got <- rep.MustFloat64s()
+	})
+	select {
+	case xs := <-got:
+		if len(xs) != 300 || xs[299] != 299.0/7 {
+			t.Fatalf("payload corrupted: len=%d", len(xs))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("echo lost under partial writes")
+	}
+	a.Wait()
+	b.Wait()
+}
+
+// TestTCPRecvTimeoutExpires: with no matching message, RecvTimeout
+// returns ErrRecvTimeout after roughly the requested window.
+func TestTCPRecvTimeoutExpires(t *testing.T) {
+	_, a, _ := tcpPair(t)
+	errc := make(chan error, 1)
+	a.SpawnRoot("waiter", func(task Task) {
+		dr := task.(DeadlineRecver)
+		_, _, _, err := dr.RecvTimeout(AnySrc, 42, 30*time.Millisecond)
+		errc <- err
+	})
+	select {
+	case err := <-errc:
+		if err != ErrRecvTimeout {
+			t.Fatalf("err = %v, want ErrRecvTimeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RecvTimeout hung")
+	}
+	a.Wait()
+}
+
+// TestTCPPartitionYieldsError: when the daemon dies for good, a blocked
+// RecvTimeout must surface the session failure instead of hanging.
+func TestTCPPartitionYieldsError(t *testing.T) {
+	d, err := NewDaemon("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ConnectTCPOpts(d.Addr(), TCPOptions{MaxReconnects: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	errc := make(chan error, 1)
+	a.SpawnRoot("waiter", func(task Task) {
+		dr := task.(DeadlineRecver)
+		// No timeout: only the partition error can end this wait.
+		_, _, _, err := dr.RecvTimeout(AnySrc, 1, 0)
+		errc <- err
+	})
+	d.Close() // the daemon is gone for good; reconnects must give up
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("blocked receive returned nil error on dead session")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("blocked receive hung on a partitioned session")
+	}
+	if a.Err() == nil {
+		t.Fatal("session not marked dead")
+	}
+	a.Wait()
+}
+
+// TestTCPHeartbeatKeepsIdleSessionAlive: with heartbeats on and a strict
+// daemon idle timeout, a session with no traffic must stay attached and
+// still route messages afterwards.
+func TestTCPHeartbeatKeepsIdleSessionAlive(t *testing.T) {
+	d, err := NewDaemonOpts("127.0.0.1:0", DaemonOptions{IdleTimeout: 250 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	hb := TCPOptions{Heartbeat: 50 * time.Millisecond}
+	a, err := ConnectTCPOpts(d.Addr(), hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ConnectTCPOpts(d.Addr(), hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ready := make(chan int, 1)
+	got := make(chan float64, 1)
+	a.SpawnRoot("receiver", func(task Task) {
+		ready <- task.TID()
+		buf, _, _ := task.Recv(AnySrc, 5)
+		got <- buf.MustFloat64()
+	})
+	aTID := <-ready
+	// Idle well past the daemon's timeout; only pings flow.
+	time.Sleep(600 * time.Millisecond)
+	b.SpawnRoot("sender", func(task Task) {
+		task.Send(aTID, 5, NewBuffer().PackFloat64(8))
+	})
+	select {
+	case v := <-got:
+		if v != 8 {
+			t.Fatalf("payload = %v", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("message lost after idle period (a err: %v, b err: %v)", a.Err(), b.Err())
+	}
+	a.Wait()
+	b.Wait()
+}
+
+// TestTCPTeardownLeaksNoGoroutines runs a full session lifecycle —
+// spawns, traffic, a forced reconnect, heartbeats — and demands the
+// goroutine count returns to its baseline after teardown.
+func TestTCPTeardownLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	func() {
+		d, err := NewDaemon("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		kd := &killableDialer{}
+		a, err := ConnectTCPOpts(d.Addr(), TCPOptions{Dial: kd.dial, Heartbeat: 20 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer a.Close()
+		b, err := ConnectTCP(d.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer b.Close()
+		ready := make(chan int, 1)
+		done := make(chan struct{})
+		a.SpawnRoot("receiver", func(task Task) {
+			ready <- task.TID()
+			task.Recv(AnySrc, 1)
+			close(done)
+		})
+		aTID := <-ready
+		kd.kill() // force one reconnect cycle
+		b.SpawnRoot("sender", func(task Task) {
+			task.Send(aTID, 1, NewBuffer().PackInt(1))
+		})
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("message lost (a err: %v)", a.Err())
+		}
+		a.Wait()
+		b.Wait()
+	}()
+	waitGoroutinesBack(t, base, 2)
 }

@@ -132,7 +132,36 @@ const (
 	frameRegHost             // session -> daemon: I can host spawns of name X
 	frameRegAck              // daemon -> session: registration processed
 	frameBye                 // session -> daemon: closing
+	// Hardening extensions (appended so earlier frame values are stable).
+	frameResume   // session -> daemon on a fresh conn: resume session (id u32, recv seq u64)
+	frameResumeOK // daemon -> session: resume accepted (daemon's recv seq u64)
+	framePing     // liveness probe; payload is the sender's recv seq (an ack)
+	framePong     // liveness reply; payload is the sender's recv seq (an ack)
+	frameAck      // cumulative ack of sequenced frames (recv seq u64)
 )
+
+// sequenced reports whether a frame type participates in the session's
+// delivery sequence: such frames are counted, retained until acked and
+// replayed on session resumption.  Control frames (handshake, liveness,
+// acks) are not — losing one is harmless.
+func sequenced(typ byte) bool {
+	switch typ {
+	case frameHello, frameWelcome, frameBye, frameResume, frameResumeOK, framePing, framePong, frameAck:
+		return false
+	}
+	return true
+}
+
+// frameRec is one retained sequenced frame awaiting acknowledgement.
+type frameRec struct {
+	seq  uint64
+	typ  byte
+	body []byte
+}
+
+// ackEvery is the cadence of cumulative acks: one frameAck per this many
+// sequenced frames received, bounding the peer's replay buffer.
+const ackEvery = 64
 
 // writeFrame writes one length-prefixed frame: u32 length, u8 type, body.
 func writeFrame(w io.Writer, typ byte, body []byte) error {
@@ -146,25 +175,51 @@ func writeFrame(w io.Writer, typ byte, body []byte) error {
 	return err
 }
 
-// readFrame reads one frame.
+// readFrame reads one frame.  The body is read in bounded chunks so a
+// lying length prefix from a broken or malicious peer cannot force a
+// gigabyte allocation before the short stream is discovered.
 func readFrame(r io.Reader) (typ byte, body []byte, err error) {
 	hdr := make([]byte, 4)
 	if _, err = io.ReadFull(r, hdr); err != nil {
 		return 0, nil, err
 	}
-	size := binary.BigEndian.Uint32(hdr)
+	size := int(binary.BigEndian.Uint32(hdr))
 	if size == 0 || size > 1<<30 {
 		return 0, nil, fmt.Errorf("pvm: bad frame size %d", size)
 	}
-	buf := make([]byte, size)
+	const chunk = 1 << 16
+	first := size
+	if first > chunk {
+		first = chunk
+	}
+	buf := make([]byte, first)
 	if _, err = io.ReadFull(r, buf); err != nil {
 		return 0, nil, err
+	}
+	for len(buf) < size {
+		n := size - len(buf)
+		if n > chunk {
+			n = chunk
+		}
+		old := len(buf)
+		buf = append(buf, make([]byte, n)...)
+		if _, err = io.ReadFull(r, buf[old:]); err != nil {
+			return 0, nil, err
+		}
 	}
 	return buf[0], buf[1:], nil
 }
 
 // Small helpers for frame bodies.
 func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+func readU64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("pvm: short frame")
+	}
+	return binary.BigEndian.Uint64(b), b[8:], nil
+}
 func appendStr(b []byte, s string) []byte { b = appendU32(b, uint32(len(s))); return append(b, s...) }
 
 func readU32(b []byte) (uint32, []byte, error) {

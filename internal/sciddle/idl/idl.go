@@ -476,6 +476,35 @@ func genClientMethod(b *strings.Builder, svcName string, m Method) {
 		fmt.Fprintf(b, "func (c *%sClient) %sPhasePacked(pack func(i int, args *pvm.Buffer)) {\n", svcName, mName)
 		fmt.Fprintf(b, "\tc.Conn.CallPhasePacked(%q, pack)\n}\n\n", m.Name)
 	}
+	// Error-returning variants for fault-tolerant clients: transport
+	// failures (reply deadline expired through every retry, session died)
+	// come back as errors instead of unbounded waits — see
+	// sciddle.Conn.SetCallTimeout and sciddle.ServerError.
+	fmt.Fprintf(b, "// %sErr is %s with transport failures returned as errors\n", mName, mName)
+	fmt.Fprintf(b, "// (see sciddle.Conn.SetCallTimeout).\n")
+	if len(m.Rets) > 0 {
+		fmt.Fprintf(b, "func (c *%sClient) %sErr(i int%s) (%s, error) {\n", svcName, mName, sigParams(m.Args), replyType)
+		fmt.Fprintf(b, "\trep, err := c.Conn.CallErr(i, %q, pack%s%sArgs(%s))\n", m.Name, svcName, mName, strings.TrimPrefix(argList(m.Args), ", "))
+		fmt.Fprintf(b, "\tif err != nil {\n\t\treturn %s{}, err\n\t}\n", replyType)
+		fmt.Fprintf(b, "\treturn unpack%s%sReply(rep), nil\n}\n\n", svcName, mName)
+	} else {
+		fmt.Fprintf(b, "func (c *%sClient) %sErr(i int%s) error {\n", svcName, mName, sigParams(m.Args))
+		fmt.Fprintf(b, "\t_, err := c.Conn.CallErr(i, %q, pack%s%sArgs(%s))\n\treturn err\n}\n\n", m.Name, svcName, mName, strings.TrimPrefix(argList(m.Args), ", "))
+	}
+	if len(m.Rets) > 0 {
+		fmt.Fprintf(b, "// %sPhaseIntoErr is %sPhaseInto with transport failures surfaced as a\n", mName, mName)
+		fmt.Fprintf(b, "// *sciddle.ServerError naming the failed server; out needs one slot per\n")
+		fmt.Fprintf(b, "// current server.  Requires accounting off.\n")
+		fmt.Fprintf(b, "func (c *%sClient) %sPhaseIntoErr(pack func(i int, args *pvm.Buffer), out []%s) error {\n", svcName, mName, replyType)
+		fmt.Fprintf(b, "\treps, err := c.Conn.CallPhasePackedErr(%q, pack)\n", m.Name)
+		fmt.Fprintf(b, "\tif err != nil {\n\t\treturn err\n\t}\n")
+		fmt.Fprintf(b, "\tfor i, rep := range reps {\n\t\tunpack%s%sReplyInto(rep, &out[i])\n\t}\n\treturn nil\n}\n\n", svcName, mName)
+	} else {
+		fmt.Fprintf(b, "// %sPhasePackedErr is %sPhasePacked with transport failures surfaced as\n", mName, mName)
+		fmt.Fprintf(b, "// a *sciddle.ServerError naming the failed server.  Requires accounting off.\n")
+		fmt.Fprintf(b, "func (c *%sClient) %sPhasePackedErr(pack func(i int, args *pvm.Buffer)) error {\n", svcName, mName)
+		fmt.Fprintf(b, "\t_, err := c.Conn.CallPhasePackedErr(%q, pack)\n\treturn err\n}\n\n", m.Name)
+	}
 	// Exported args packer for use with Phase argFn.
 	fmt.Fprintf(b, "// Pack%s%sArgs builds the argument buffer for %sPhase.\n", svcName, mName, mName)
 	fmt.Fprintf(b, "func Pack%s%sArgs(%s) *pvm.Buffer {\n\treturn pack%s%sArgs(%s)\n}\n\n",

@@ -24,7 +24,9 @@
 package sciddle
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"opalperf/internal/pvm"
 )
@@ -78,11 +80,23 @@ type ServeOptions struct {
 	// Parties is the barrier size (servers + client); required when
 	// Accounting is set.
 	Parties int
+	// Quit, when non-nil, is a cooperative kill switch: the loop polls it
+	// between requests and returns once it is closed, without waiting for
+	// the client's stop request.  Chaos tests use it to kill live servers
+	// (a goroutine cannot be killed from outside).  Polling needs a
+	// fabric with real receive deadlines (the network fabric); on the
+	// simulated and local fabrics RecvTimeout never expires, so Quit only
+	// takes effect if the session itself dies.
+	Quit <-chan struct{}
+	// PollInterval is the receive deadline used while watching Quit
+	// (default 25ms).
+	PollInterval time.Duration
 }
 
 // Serve runs the server loop on task t until the client sends a stop
-// request.  In accounting mode each request is bracketed by the two phase
-// barriers described in the package comment.
+// request, the Quit channel closes, or the session dies.  In accounting
+// mode each request is bracketed by the two phase barriers described in
+// the package comment.
 func Serve(t pvm.Task, svc *Service, opt ServeOptions) {
 	if opt.Accounting && opt.Parties < 2 {
 		panic("sciddle: accounting mode needs Parties >= 2")
@@ -90,7 +104,10 @@ func Serve(t pvm.Task, svc *Service, opt ServeOptions) {
 	var voidReply *pvm.Buffer
 	phase := 0
 	for {
-		req, src, _ := t.Recv(pvm.AnySrc, tagRequest)
+		req, src, ok := serveRecv(t, opt)
+		if !ok {
+			return
+		}
 		callID, err := req.UnpackInt()
 		if err != nil {
 			panic(fmt.Sprintf("sciddle: malformed request: %v", err))
@@ -129,6 +146,34 @@ func Serve(t pvm.Task, svc *Service, opt ServeOptions) {
 	}
 }
 
+// serveRecv blocks for the next request, honouring the quit switch.  The
+// boolean result is false when the loop should exit: the quit channel
+// closed, or the session died under a deadline-aware fabric.
+func serveRecv(t pvm.Task, opt ServeOptions) (*pvm.Buffer, int, bool) {
+	if opt.Quit == nil {
+		b, src, _ := t.Recv(pvm.AnySrc, tagRequest)
+		return b, src, true
+	}
+	poll := opt.PollInterval
+	if poll <= 0 {
+		poll = 25 * time.Millisecond
+	}
+	for {
+		select {
+		case <-opt.Quit:
+			return nil, 0, false
+		default:
+		}
+		b, src, _, err := pvm.RecvDeadline(t, pvm.AnySrc, tagRequest, poll)
+		if err == nil {
+			return b, src, true
+		}
+		if !errors.Is(err, pvm.ErrRecvTimeout) {
+			return nil, 0, false
+		}
+	}
+}
+
 func replyTag(callID int) int { return tagReplyBase + 1 + callID }
 
 // Phase barrier keys alternate between two constant pairs instead of
@@ -156,6 +201,7 @@ func barrierKey(phase int, point string) string {
 type MethodStats struct {
 	Method   string
 	Calls    int
+	Retries  int // idempotent resends after a reply deadline expired
 	BytesOut int
 	BytesIn  int
 	// TCall is client time spent transmitting requests (the t_call terms
@@ -165,16 +211,38 @@ type MethodStats struct {
 	TReturn float64
 }
 
+// ServerError reports that one server stopped answering: its reply
+// deadline expired through every retry, or the session to it died.  The
+// Server index identifies the failed server so a fault-tolerant client
+// can drop it and redistribute its work.
+type ServerError struct {
+	Server int   // index in the connection's server list at failure time
+	TID    int   // the server's task id
+	Err    error // the underlying transport error
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("sciddle: server %d (tid %d): %v", e.Server, e.TID, e.Err)
+}
+
+func (e *ServerError) Unwrap() error { return e.Err }
+
 // Conn is the client side of a Sciddle session: an ordered set of server
 // tasks exporting the same service.
 type Conn struct {
 	t          pvm.Task
 	servers    []int
+	dropped    []int // TIDs removed by DropServer, stopped best-effort at Close
 	seq        int
 	phase      int
 	accounting bool
-	stats      map[string]*MethodStats
-	statOrder  []string
+	// callTimeout bounds the wait for each reply; callRetries is the
+	// number of idempotent resends before the server is declared dead.
+	// Zero timeout means wait forever (the classic Sciddle behaviour).
+	callTimeout time.Duration
+	callRetries int
+	stats       map[string]*MethodStats
+	statOrder   []string
 	// Steady-state scratch of CallPhasePacked: per-server request buffers
 	// reset and repacked each phase, plus call-id and reply collections.
 	reqBufs []*pvm.Buffer
@@ -189,7 +257,52 @@ func Connect(t pvm.Task, servers []int) *Conn {
 
 // SetAccounting toggles the barrier-separated timing mode.  It must match
 // the servers' ServeOptions and be set before the first call.
-func (c *Conn) SetAccounting(on bool) { c.accounting = on }
+func (c *Conn) SetAccounting(on bool) {
+	if on && (c.callTimeout > 0 || c.callRetries > 0) {
+		panic("sciddle: accounting mode is incompatible with call timeouts (a retried call would desynchronize the phase barriers)")
+	}
+	c.accounting = on
+}
+
+// SetCallTimeout bounds every reply wait of the error-returning call
+// paths (WaitErr, CallErr, CallPhasePackedErr): after d without a reply
+// the request is resent up to retries times — safe because Sciddle
+// handlers are pure functions of their arguments, so at-least-once
+// delivery cannot corrupt server state — and when the last resend times
+// out the call fails with a *ServerError.  d = 0 restores the classic
+// wait-forever behaviour.  Incompatible with accounting mode: a resend
+// would enter an extra phase barrier and desynchronize the parties.
+//
+// On fabrics without real deadlines (simulated, local) replies cannot be
+// lost and the timeout never fires, so enabling it there is a no-op —
+// which keeps simulated runs deterministic.
+func (c *Conn) SetCallTimeout(d time.Duration, retries int) {
+	if c.accounting && (d > 0 || retries > 0) {
+		panic("sciddle: accounting mode is incompatible with call timeouts (a retried call would desynchronize the phase barriers)")
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	c.callTimeout = d
+	c.callRetries = retries
+}
+
+// DropServer removes the server at index i from the connection after it
+// has been declared dead.  Subsequent phases run over the survivors, and
+// server indices above i shift down by one.  The dropped task — which may
+// in fact still be alive if the timeout was a false positive — receives a
+// best-effort stop request at Close.  Incompatible with accounting mode,
+// whose barrier party counts are fixed at spawn time.
+func (c *Conn) DropServer(i int) {
+	if c.accounting {
+		panic("sciddle: DropServer is incompatible with accounting mode")
+	}
+	if i < 0 || i >= len(c.servers) {
+		panic(fmt.Sprintf("sciddle: server index %d out of range", i))
+	}
+	c.dropped = append(c.dropped, c.servers[i])
+	c.servers = append(c.servers[:i], c.servers[i+1:]...)
+}
 
 // Accounting reports whether accounting mode is active.
 func (c *Conn) Accounting() bool { return c.accounting }
@@ -222,9 +335,11 @@ func (c *Conn) Stats() []*MethodStats {
 // Pending is an outstanding asynchronous call.
 type Pending struct {
 	c      *Conn
+	index  int // server index at call time
 	server int
 	callID int
 	method string
+	req    *pvm.Buffer // retained for idempotent retry
 	done   bool
 	reply  *pvm.Buffer
 }
@@ -248,7 +363,7 @@ func (c *Conn) CallAsync(i int, method string, args *pvm.Buffer) *Pending {
 	st.TCall += c.t.Now() - t0
 	st.Calls++
 	st.BytesOut += req.Bytes()
-	return &Pending{c: c, server: c.servers[i], callID: callID, method: method}
+	return &Pending{c: c, index: i, server: c.servers[i], callID: callID, method: method, req: req}
 }
 
 // Wait blocks until the reply arrives and returns it.  Waiting twice
@@ -267,9 +382,54 @@ func (p *Pending) Wait() *pvm.Buffer {
 	return b
 }
 
+// WaitErr is Wait with the connection's call timeout applied: when the
+// reply deadline expires the request is resent (same call id — handlers
+// are idempotent, and call ids are never reused, so a duplicate reply
+// simply lingers unmatched) up to the configured retry count, and a
+// server that stays silent yields a *ServerError instead of a hang.
+func (p *Pending) WaitErr() (*pvm.Buffer, error) {
+	if p.done {
+		return p.reply, nil
+	}
+	b, err := p.c.recvReply(p.index, p.server, p.callID, p.req, p.c.stat(p.method))
+	if err != nil {
+		return nil, err
+	}
+	p.reply = b
+	p.done = true
+	return b, nil
+}
+
+// recvReply waits for one reply under the call timeout, resending req on
+// each expiry.  index and tid identify the server for the error report.
+func (c *Conn) recvReply(index, tid, callID int, req *pvm.Buffer, st *MethodStats) (*pvm.Buffer, error) {
+	for attempt := 0; ; attempt++ {
+		t0 := c.t.Now()
+		b, _, _, err := pvm.RecvDeadline(c.t, tid, replyTag(callID), c.callTimeout)
+		st.TReturn += c.t.Now() - t0
+		if err == nil {
+			st.BytesIn += b.Bytes()
+			return b, nil
+		}
+		if !errors.Is(err, pvm.ErrRecvTimeout) || attempt >= c.callRetries || req == nil {
+			return nil, &ServerError{Server: index, TID: tid, Err: err}
+		}
+		t0 = c.t.Now()
+		c.t.Send(tid, tagRequest, req)
+		st.TCall += c.t.Now() - t0
+		st.Retries++
+	}
+}
+
 // Call is the synchronous convenience wrapper.
 func (c *Conn) Call(i int, method string, args *pvm.Buffer) *pvm.Buffer {
 	return c.CallAsync(i, method, args).Wait()
+}
+
+// CallErr is Call with transport failures surfaced as errors (see
+// SetCallTimeout) instead of unbounded waits.
+func (c *Conn) CallErr(i int, method string, args *pvm.Buffer) (*pvm.Buffer, error) {
+	return c.CallAsync(i, method, args).WaitErr()
 }
 
 // CallPhase performs one SPMD call phase: method is invoked once on every
@@ -354,15 +514,78 @@ func (c *Conn) CallPhasePacked(method string, pack func(i int, args *pvm.Buffer)
 	return c.replies
 }
 
+// CallPhasePackedErr is CallPhasePacked with transport failures surfaced
+// as errors: every reply wait runs under the call timeout, and the first
+// server that stays silent through its retries aborts the collection with
+// a *ServerError naming it.  Replies already collected are discarded and
+// late replies from the remaining servers linger unmatched (call ids are
+// never reused), so the caller may drop the failed server and simply redo
+// the phase — Sciddle handlers are idempotent.  Only available with
+// accounting off; the reuse contract of CallPhasePacked applies.
+func (c *Conn) CallPhasePackedErr(method string, pack func(i int, args *pvm.Buffer)) ([]*pvm.Buffer, error) {
+	if c.accounting {
+		panic("sciddle: CallPhasePackedErr is incompatible with accounting mode")
+	}
+	for len(c.reqBufs) < len(c.servers) {
+		c.reqBufs = append(c.reqBufs, pvm.NewBuffer())
+	}
+	if cap(c.callIDs) < len(c.servers) {
+		c.callIDs = make([]int, len(c.servers))
+		c.replies = make([]*pvm.Buffer, len(c.servers))
+	}
+	c.callIDs = c.callIDs[:len(c.servers)]
+	c.replies = c.replies[:len(c.servers)]
+	st := c.stat(method)
+	for i := range c.servers {
+		req := c.reqBufs[i].Reset()
+		callID := c.seq
+		c.seq++
+		c.callIDs[i] = callID
+		req.PackInt(callID).PackString(method)
+		if pack != nil {
+			pack(i, req)
+		}
+		t0 := c.t.Now()
+		c.t.Send(c.servers[i], tagRequest, req)
+		st.TCall += c.t.Now() - t0
+		st.Calls++
+		st.BytesOut += req.Bytes()
+	}
+	for i := range c.servers {
+		b, err := c.recvReply(i, c.servers[i], c.callIDs[i], c.reqBufs[i], st)
+		if err != nil {
+			return nil, err
+		}
+		c.replies[i] = b
+	}
+	return c.replies, nil
+}
+
 // Close sends a stop request to every server and collects the
-// acknowledgements.  The connection must not be used afterwards.
+// acknowledgements.  Servers dropped after a timeout also get a
+// best-effort stop — a false-positive drop leaves a live server loop
+// behind, and this lets it exit — waited on only as long as the call
+// timeout allows.  The connection must not be used afterwards.
 func (c *Conn) Close() {
 	pending := make([]*Pending, len(c.servers))
 	for i := range c.servers {
 		pending[i] = c.CallAsync(i, methodStop, nil)
 	}
 	for _, p := range pending {
-		p.Wait()
+		if c.callTimeout > 0 {
+			p.WaitErr() // a server dying during shutdown is not an error worth hanging for
+		} else {
+			p.Wait()
+		}
+	}
+	for _, tid := range c.dropped {
+		callID := c.seq
+		c.seq++
+		req := pvm.NewBuffer().PackInt(callID).PackString(methodStop)
+		c.t.Send(tid, tagRequest, req)
+		if c.callTimeout > 0 {
+			pvm.RecvDeadline(c.t, tid, replyTag(callID), c.callTimeout)
+		}
 	}
 }
 

@@ -133,6 +133,10 @@ type Breakdown struct {
 	Comm float64
 	// Sync is the client's synchronization time (the accounting barriers).
 	Sync float64
+	// Recovery is the time spent absorbing injected faults across the
+	// client and all servers: retransmissions, crash-recovery windows and
+	// straggler delays (vm.SegRecovery).  Exactly zero in fault-free runs.
+	Recovery float64
 	// Idle is the remainder of the wall clock: the client waiting for
 	// servers, which grows with load imbalance.
 	Idle float64
@@ -156,6 +160,7 @@ func ComputeBreakdownBetween(r *Recorder, clientID int, serverIDs []int, t0, t1,
 	b.SeqComp = ct[vm.SegCompute] + ct[vm.SegOther]
 	b.Comm = ct[vm.SegComm]
 	b.Sync = ct[vm.SegSync]
+	b.Recovery = ct[vm.SegRecovery]
 	if len(serverIDs) > 0 {
 		b.MinParComp = -1
 		var sum float64
@@ -172,13 +177,16 @@ func ComputeBreakdownBetween(r *Recorder, clientID int, serverIDs []int, t0, t1,
 			// The servers' reply transfers count as communication (they
 			// occupy the shared channel while the client waits).
 			b.Comm += st[vm.SegComm]
+			// The servers' fault-recovery time is part of the run's
+			// recovery cost: the client waits it out on the critical path.
+			b.Recovery += st[vm.SegRecovery]
 		}
 		b.ParComp = sum / float64(len(serverIDs))
 		if b.MinParComp < 0 {
 			b.MinParComp = 0
 		}
 	}
-	b.Idle = wall - b.ParComp - b.SeqComp - b.Comm - b.Sync
+	b.Idle = wall - b.ParComp - b.SeqComp - b.Comm - b.Sync - b.Recovery
 	if b.Idle < 0 {
 		b.Idle = 0
 	}
@@ -196,18 +204,32 @@ func (b Breakdown) Imbalance() float64 {
 }
 
 // Components returns the breakdown in the paper's chart order with labels.
+// The five classic components only — the order and shape of the paper's
+// Figures 1-2 — so fault-free renderings are unchanged; use
+// ComponentsWithRecovery for figures of faulted runs.
 func (b Breakdown) Components() ([]string, []float64) {
 	return []string{"par comp", "seq comp", "comm", "sync", "idle"},
 		[]float64{b.ParComp, b.SeqComp, b.Comm, b.Sync, b.Idle}
 }
 
+// ComponentsWithRecovery returns the six-way breakdown including the
+// fault-recovery component.
+func (b Breakdown) ComponentsWithRecovery() ([]string, []float64) {
+	return []string{"par comp", "seq comp", "comm", "sync", "recovery", "idle"},
+		[]float64{b.ParComp, b.SeqComp, b.Comm, b.Sync, b.Recovery, b.Idle}
+}
+
 // Sum returns the accounted total (which equals Wall up to the clamping of
 // negative idle).
 func (b Breakdown) Sum() float64 {
-	return b.ParComp + b.SeqComp + b.Comm + b.Sync + b.Idle
+	return b.ParComp + b.SeqComp + b.Comm + b.Sync + b.Recovery + b.Idle
 }
 
 func (b Breakdown) String() string {
-	return fmt.Sprintf("wall %.3fs = par %.3f + seq %.3f + comm %.3f + sync %.3f + idle %.3f (imbalance %.1f%%)",
+	s := fmt.Sprintf("wall %.3fs = par %.3f + seq %.3f + comm %.3f + sync %.3f + idle %.3f (imbalance %.1f%%)",
 		b.Wall, b.ParComp, b.SeqComp, b.Comm, b.Sync, b.Idle, 100*b.Imbalance())
+	if b.Recovery != 0 {
+		s += fmt.Sprintf(" + recovery %.3f", b.Recovery)
+	}
+	return s
 }

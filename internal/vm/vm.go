@@ -51,9 +51,14 @@ const (
 	SegIdle
 	// SegOther is uncategorized virtual time.
 	SegOther
+	// SegRecovery is time spent absorbing a fault: a spurious
+	// retransmission occupying the shared channel, a crash-recovery
+	// window, or a straggler delay before a barrier.  Zero in fault-free
+	// runs, so the classic five-way breakdown is unchanged.
+	SegRecovery
 )
 
-var segNames = [...]string{"compute", "comm", "sync", "idle", "other"}
+var segNames = [...]string{"compute", "comm", "sync", "idle", "other", "recovery"}
 
 func (k SegKind) String() string {
 	if int(k) < len(segNames) {
@@ -63,7 +68,7 @@ func (k SegKind) String() string {
 }
 
 // NumSegKinds is the number of distinct segment kinds.
-const NumSegKinds = 5
+const NumSegKinds = 6
 
 // Tracer receives every classified span of virtual time.  trace.Recorder is
 // the canonical implementation; a nil tracer disables tracing.
@@ -96,6 +101,34 @@ type CommModel interface {
 // seconds, possibly dependent on the working-set size in bytes.
 type ComputeModel interface {
 	Seconds(flops float64, workingSet int) float64
+}
+
+// FaultModel injects faults into a simulation as deterministic virtual-time
+// perturbations.  Because every hook is consulted from the process that
+// holds the execution token — and the kernel's token hand-off order is
+// itself deterministic — a seeded model yields bit-identical fault
+// schedules run after run.  All faults are *recoverable by construction*:
+// they stretch the timeline (retransmission delays, spurious resends,
+// crash-recovery windows, stragglers) but never corrupt or reorder
+// payloads, so simulated physics results are unchanged and every run that
+// terminates fault-free also terminates under faults.  internal/fault
+// provides the canonical seeded implementation.
+type FaultModel interface {
+	// SendFault is consulted once per Send.  delay is extra latency added
+	// to the message's arrival (a dropped first copy recovered by a
+	// retransmission after a retry timeout); resend is extra shared-channel
+	// occupancy charged to the sender as SegRecovery (a spurious duplicate
+	// transmission).  Return zeros for no fault.
+	SendFault(src, dst, tag, bytes int) (delay, resend float64)
+	// ComputeFault is consulted once per Compute burst; a positive return
+	// freezes the process for that many virtual seconds (a task crash
+	// followed by checkpoint restart on a hot spare), classified as
+	// SegRecovery.
+	ComputeFault(proc int) float64
+	// BarrierFault is consulted once per Barrier entry; a positive return
+	// delays the process's arrival by that many seconds (a straggler),
+	// classified as SegRecovery.
+	BarrierFault(proc int) float64
 }
 
 // FixedCost is a trivial CommModel with constant per-message overhead, a
@@ -241,6 +274,11 @@ func (p *Proc) Compute(flops float64) {
 	if flops <= 0 {
 		return
 	}
+	if p.k.faults != nil {
+		if r := p.k.faults.ComputeFault(p.id); r > 0 {
+			p.Elapse(r, SegRecovery)
+		}
+	}
 	var dt float64
 	if p.compute != nil {
 		dt = p.compute.Seconds(flops, p.ws)
@@ -288,8 +326,16 @@ func (p *Proc) Send(dst, tag int, payload any, bytes int) {
 	if p.k.comm != nil {
 		busy, latency = p.k.comm.SendCost(p.id, dst, bytes)
 	}
+	// Fault plane: a drop surfaces as extra arrival delay (the transport
+	// retransmits after its retry timeout); a duplicate surfaces as a
+	// spurious resend occupying the shared channel, charged to the sender
+	// as recovery overhead.
+	delay, resend := 0.0, 0.0
+	if p.k.faults != nil {
+		delay, resend = p.k.faults.SendFault(p.id, dst, tag, bytes)
+	}
 	start := p.now
-	if busy > 0 {
+	if busy+resend > 0 {
 		if p.k.chanFree > start {
 			// Queue behind the transfer in flight.  The wait is idle
 			// time — the channel occupancy itself is what counts as
@@ -297,11 +343,16 @@ func (p *Proc) Send(dst, tag int, payload any, bytes int) {
 			p.segment(SegIdle, start, p.k.chanFree)
 			start = p.k.chanFree
 		}
-		p.k.chanFree = start + busy
+		p.k.chanFree = start + busy + resend
 	}
 	end := start + busy
 	p.segment(SegComm, start, end)
+	if resend > 0 {
+		p.segment(SegRecovery, end, end+resend)
+		end += resend
+	}
 	p.now = end
+	latency += delay
 	p.stats.MsgsSent++
 	p.stats.BytesSent += bytes
 	m := p.k.newMessage()
@@ -407,6 +458,14 @@ func (p *Proc) Barrier(key string, parties int) {
 	if parties <= 0 {
 		panic("vm: barrier with no parties")
 	}
+	if p.k.faults != nil {
+		if s := p.k.faults.BarrierFault(p.id); s > 0 {
+			// Straggler: this member reaches the barrier late; the others
+			// see the delay as load imbalance (idle), the straggler itself
+			// carries it as recovery time.
+			p.Elapse(s, SegRecovery)
+		}
+	}
 	b := p.k.barriers[key]
 	if b == nil {
 		b = p.k.newBarrier(key, parties)
@@ -475,6 +534,7 @@ type barrier struct {
 type Kernel struct {
 	comm     CommModel
 	tracer   Tracer
+	faults   FaultModel
 	procs    []*Proc
 	yield    chan *Proc
 	seq      uint64
@@ -500,6 +560,16 @@ func NewKernel(comm CommModel, tracer Tracer) *Kernel {
 		yield:    make(chan *Proc),
 		barriers: make(map[string]*barrier),
 	}
+}
+
+// SetFaults installs a fault model (nil disables injection).  It must be
+// called before Run; a nil model leaves every timeline bit-identical to an
+// injector-free kernel.
+func (k *Kernel) SetFaults(fm FaultModel) {
+	if k.running {
+		panic("vm: SetFaults called while kernel is running")
+	}
+	k.faults = fm
 }
 
 // NewProc registers a process before the simulation starts.  The process
