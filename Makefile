@@ -15,9 +15,11 @@ race:
 	$(GO) test -race ./...
 
 # Repeat the chaos suite under the race detector: the seeded sim-fabric
-# fault sweep plus the live TCP server-kill tests.
+# fault sweep, the live TCP server-kill tests, the self-healing respawn
+# suite and the checkpoint-restart sweeps.
 chaos:
-	$(GO) test -race -count=5 -run 'TestChaos|TestParallelSurvives|TestServerQuit' \
+	$(GO) test -race -count=5 \
+		-run 'TestChaos|TestParallelSurvives|TestServerQuit|TestSelfHeal|TestRestart|TestPeriodicCheckpoint' \
 		./internal/harness/ ./internal/md/
 
 # The full tier-1 gate: what CI runs.
@@ -42,6 +44,7 @@ fuzz:
 	$(GO) test ./internal/pvm/ -run xxx -fuzz FuzzFrameDecode -fuzztime 15s
 	$(GO) test ./internal/sciddle/idl/ -run xxx -fuzz FuzzParse -fuzztime 15s
 	$(GO) test ./internal/molecule/ -run xxx -fuzz FuzzRead -fuzztime 15s
+	$(GO) test ./internal/md/ -run xxx -fuzz FuzzReadCheckpoint -fuzztime 15s
 
 # Regenerate every paper table and figure at full problem scale (minutes).
 figures:

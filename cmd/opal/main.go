@@ -50,6 +50,9 @@ func main() {
 		xyzFile    = flag.String("xyz", "", "write an XYZ trajectory of the run")
 		faultRate  = flag.Float64("fault-rate", 0, "per-event fault injection probability (0 = off)")
 		faultSeed  = flag.Uint64("fault-seed", 1, "fault schedule seed; one seed is one schedule")
+		ckptEvery  = flag.Int("checkpoint-every", 0, "also write -checkpoint atomically every N steps, at pair-list update boundaries (0 = end of run only)")
+		heal       = flag.Bool("supervise", false, "self-heal: respawn dead servers at their rank and re-expand to full width (forces -accounting=false)")
+		killSrv    = flag.String("kill-server", "", "administrative kill schedule 'step:rank[,step:rank...]' (requires -supervise)")
 	)
 	flag.Parse()
 
@@ -68,21 +71,52 @@ func main() {
 		Accounting:  *accounting,
 		Minimize:    !*dynamics,
 	}
+	if *heal {
+		if *servers <= 0 {
+			fatal(fmt.Errorf("-supervise needs parallel servers (-servers > 0)"))
+		}
+		opts.SelfHeal = true
+		if opts.Accounting {
+			fmt.Println("note: -supervise disables -accounting (heal-time calls bypass the phase barriers)")
+			opts.Accounting = false
+		}
+	}
+	if *killSrv != "" {
+		if !*heal {
+			fatal(fmt.Errorf("-kill-server requires -supervise"))
+		}
+		ks, err := parseKills(*killSrv)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Kills = ks.Func()
+	}
+	if *ckptEvery > 0 {
+		if *ckptFile == "" {
+			fatal(fmt.Errorf("-checkpoint-every needs -checkpoint <file>"))
+		}
+		opts.CheckpointEvery = *ckptEvery
+		opts.CheckpointSink = func(cp *md.Checkpoint) error {
+			if err := cp.WriteFile(*ckptFile); err != nil {
+				return err
+			}
+			fmt.Printf("checkpoint at step %d written to %s\n", cp.Step, *ckptFile)
+			return nil
+		}
+	}
 
 	var sys *molecule.System
 	switch {
 	case *resumeFile != "":
-		f, err := os.Open(*resumeFile)
-		if err != nil {
-			fatal(err)
-		}
-		cp, err := md.ReadCheckpoint(f)
-		f.Close()
+		cp, err := md.ReadCheckpointFile(*resumeFile)
 		if err != nil {
 			fatal(err)
 		}
 		sys = cp.Sys
-		opts = cp.Resume(opts)
+		opts, err = cp.Resume(opts)
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("resuming from %s at step %d\n", *resumeFile, cp.Step)
 	case *molFile != "":
 		f, err := os.Open(*molFile)
@@ -174,6 +208,10 @@ func main() {
 		fmt.Printf("injected faults (seed %d, rate %g): %d total — %d drops, %d dups, %d delays, %d crashes, %d stragglers\n",
 			*faultSeed, *faultRate, fs.Total(), fs.Drops, fs.Dups, fs.Delays, fs.Crashes, fs.Stragglers)
 	}
+	if *heal {
+		fmt.Printf("self-healing: %d respawn(s) (%.3f s), %d degraded recover(ies)\n",
+			out.Result.Respawns, out.Result.RespawnSeconds, out.Result.Recoveries)
+	}
 
 	if *metrics && *servers > 0 {
 		fmt.Println()
@@ -192,19 +230,31 @@ func main() {
 
 	if *ckptFile != "" {
 		cp := md.CheckpointOf(sys, out.Result)
-		f, err := os.Create(*ckptFile)
-		if err != nil {
+		if err := cp.WriteFile(*ckptFile); err != nil {
 			fatal(err)
 		}
-		if err := cp.Write(f); err != nil {
-			fatal(err)
-		}
-		f.Close()
-		fmt.Printf("checkpoint written to %s\n", *ckptFile)
+		fmt.Printf("checkpoint at step %d written to %s\n", cp.Step, *ckptFile)
 	}
 	if xyzOut != nil {
 		fmt.Printf("trajectory: %d frames in %s\n", opts.Trajectory.Frames(), *xyzFile)
 	}
+}
+
+// parseKills parses an administrative kill schedule of the form
+// "step:rank[,step:rank...]", e.g. "2:1,6:0".
+func parseKills(s string) (fault.KillSchedule, error) {
+	ks := fault.KillSchedule{}
+	for _, part := range strings.Split(s, ",") {
+		var step, rank int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d:%d", &step, &rank); err != nil {
+			return nil, fmt.Errorf("bad -kill-server entry %q (want step:rank)", part)
+		}
+		if step < 0 || rank < 0 {
+			return nil, fmt.Errorf("bad -kill-server entry %q: negative step or rank", part)
+		}
+		ks[step] = append(ks[step], rank)
+	}
+	return ks, nil
 }
 
 func effPrefix(sys *molecule.System, cutoff float64) string {

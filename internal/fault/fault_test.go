@@ -151,3 +151,58 @@ func TestDialerStreamsDiffer(t *testing.T) {
 		t.Fatal("streams identical for distinct conns")
 	}
 }
+
+func TestKillScheduleDeterministic(t *testing.T) {
+	a := Kills(42, 20, 4, 0.15)
+	b := Kills(42, 20, 4, 0.15)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedule sizes: %d vs %d", len(a), len(b))
+	}
+	for s, ranks := range a {
+		if len(b[s]) != len(ranks) {
+			t.Fatalf("step %d: %v vs %v", s, ranks, b[s])
+		}
+		for i := range ranks {
+			if ranks[i] != b[s][i] {
+				t.Fatalf("step %d: %v vs %v", s, ranks, b[s])
+			}
+		}
+	}
+	if a.Total() == 0 {
+		t.Fatal("rate 0.15 over 80 draws produced no kills")
+	}
+	if Kills(43, 20, 4, 0.15).Total() == a.Total() && len(Kills(43, 20, 4, 0.15)) == len(a) {
+		// Different seeds may coincide in totals, but identical totals
+		// AND step counts for adjacent seeds would be suspicious enough
+		// to look at the generator; tolerate it silently only if the
+		// schedules genuinely differ somewhere.
+		differ := false
+		other := Kills(43, 20, 4, 0.15)
+		for s, ranks := range a {
+			o := other[s]
+			if len(o) != len(ranks) {
+				differ = true
+				break
+			}
+			for i := range ranks {
+				if ranks[i] != o[i] {
+					differ = true
+					break
+				}
+			}
+		}
+		if !differ {
+			t.Fatal("seeds 42 and 43 produced identical kill schedules")
+		}
+	}
+	fn := a.Func()
+	for s := 0; s < 20; s++ {
+		got := fn(s)
+		if len(got) != len(a[s]) {
+			t.Fatalf("Func()(%d) = %v, want %v", s, got, a[s])
+		}
+	}
+	if Kills(1, 10, 3, 0).Total() != 0 {
+		t.Fatal("zero rate must produce an empty schedule")
+	}
+}

@@ -1,0 +1,45 @@
+package fault
+
+// Respawn-aware crash schedules.  Where Config injects faults into the
+// message fabric (drops, delays, crashes of the transport), a
+// KillSchedule declares whole servers dead at chosen simulation steps —
+// the administrative signal the self-healing supervisor consumes on the
+// deterministic fabrics, where replies cannot be lost and a call timeout
+// would never fire (md.Options.Kills).  Killing a rank that was already
+// healed kills its replacement: the schedule's Total always equals the
+// respawn count a budget-unconstrained self-healing run reports.
+
+// KillSchedule maps a simulation step to the server ranks declared dead
+// before that step's phases.
+type KillSchedule map[int][]int
+
+// Kills draws a seeded schedule over steps x servers: before each step,
+// each rank dies independently with probability rate.  The schedule is a
+// pure function of its arguments — one seed is one schedule, replayable
+// forever.
+func Kills(seed uint64, steps, servers int, rate float64) KillSchedule {
+	rng := newSplitmix(seed)
+	ks := KillSchedule{}
+	for s := 0; s < steps; s++ {
+		for r := 0; r < servers; r++ {
+			if rng.float64() < rate {
+				ks[s] = append(ks[s], r)
+			}
+		}
+	}
+	return ks
+}
+
+// Total returns the number of kills in the schedule.
+func (k KillSchedule) Total() int {
+	n := 0
+	for _, ranks := range k {
+		n += len(ranks)
+	}
+	return n
+}
+
+// Func adapts the schedule to the engine's callback form.
+func (k KillSchedule) Func() func(step int) []int {
+	return func(step int) []int { return k[step] }
+}

@@ -1,0 +1,146 @@
+package harness
+
+import (
+	"testing"
+
+	"opalperf/internal/fault"
+	"opalperf/internal/md"
+	"opalperf/internal/platform"
+)
+
+// restartSpec is the run the restart and self-heal sweeps perturb: small
+// system, two servers, several unaccounted steps with a partial pair-list
+// update — long enough for checkpoints and kills to land anywhere in the
+// update interval.
+func restartSpec() RunSpec {
+	return RunSpec{
+		Platform: platform.J90(),
+		Sys:      Sizes(0.02)["small"],
+		Opts:     md.Options{Cutoff: EffectiveCutoff, UpdateEvery: 2, Minimize: true},
+		Servers:  2,
+		Steps:    8,
+	}
+}
+
+// TestRestartFromCheckpointSweep is the client-kill extension of the
+// chaos sweep: for every seed the client is killed at a seed-derived
+// step and restarted from its latest periodic checkpoint (interval also
+// seed-derived).  The stitched trajectory must be bit-identical to the
+// uninterrupted run — including under an injected fault schedule, since
+// sim-fabric faults stretch the timeline but never change the physics.
+func TestRestartFromCheckpointSweep(t *testing.T) {
+	spec := restartSpec()
+	base, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const seeds = 40
+	resumedMidRun := 0
+	for seed := uint64(0); seed < seeds; seed++ {
+		s := spec
+		if seed%2 == 1 {
+			cfg := fault.Uniform(seed, 0.05)
+			s.Faults = &cfg
+		}
+		every := 1 + int(seed%3)
+		killAt := 1 + int(seed%uint64(spec.Steps-1))
+		out, err := RunWithRestart(s, every, killAt)
+		if err != nil {
+			t.Fatalf("seed %d (every %d, kill %d): %v", seed, every, killAt, err)
+		}
+		if out.ResumedAt > killAt {
+			t.Fatalf("seed %d: resumed at %d, after the kill at %d", seed, out.ResumedAt, killAt)
+		}
+		if out.ResumedAt%s.Opts.UpdateEvery != 0 {
+			t.Fatalf("seed %d: resumed off a pair-list update boundary: %d", seed, out.ResumedAt)
+		}
+		if out.ResumedAt > 0 {
+			resumedMidRun++
+		}
+		samePhysics(t, seed, base.Result, out.Result)
+	}
+	if resumedMidRun == 0 {
+		t.Fatal("no seed resumed from a mid-run checkpoint; the sweep is not exercising restarts")
+	}
+}
+
+// TestSelfHealKillSweepSim drives seeded respawn-aware crash schedules
+// (fault.Kills) through the self-healing parallel engine: every run must
+// finish with Respawns equal to the schedule's kill count, the fleet
+// back at its configured width, and physics bit-identical to the
+// fault-free run.
+func TestSelfHealKillSweepSim(t *testing.T) {
+	spec := restartSpec()
+	spec.Opts.SelfHeal = true
+	base, err := Run(restartSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const seeds = 25
+	killed := 0
+	for seed := uint64(0); seed < seeds; seed++ {
+		ks := fault.Kills(seed, spec.Steps, spec.Servers, 0.12)
+		s := spec
+		s.Opts.Kills = ks.Func()
+		out, err := Run(s)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.Result.Respawns != ks.Total() {
+			t.Fatalf("seed %d: Respawns = %d, want %d (the schedule's kill count)",
+				seed, out.Result.Respawns, ks.Total())
+		}
+		if len(out.Result.ServerTIDs) != spec.Servers {
+			t.Fatalf("seed %d: fleet width %d, want %d", seed, len(out.Result.ServerTIDs), spec.Servers)
+		}
+		if ks.Total() > 0 && out.Result.RespawnSeconds <= 0 {
+			t.Fatalf("seed %d: %d kills but no respawn time accounted", seed, ks.Total())
+		}
+		killed += ks.Total()
+		samePhysics(t, seed, base.Result, out.Result)
+	}
+	if killed == 0 {
+		t.Fatal("no schedule killed anything; the sweep is not exercising respawns")
+	}
+}
+
+// TestRestartOfSelfHealingRun stacks all three rungs of the recovery
+// ladder in one experiment: servers die and are healed, the client is
+// killed and restarted from a periodic checkpoint, and the stitched
+// trajectory still matches the undisturbed run bit for bit.
+func TestRestartOfSelfHealingRun(t *testing.T) {
+	base, err := Run(restartSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := restartSpec()
+	spec.Opts.SelfHeal = true
+	ks := fault.Kills(7, spec.Steps, spec.Servers, 0.2)
+	if ks.Total() == 0 {
+		t.Fatal("seed 7 produced no kills; pick another seed")
+	}
+	spec.Opts.Kills = ks.Func()
+	out, err := RunWithRestart(spec, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Respawns == 0 {
+		t.Fatal("no respawns despite a non-empty kill schedule")
+	}
+	samePhysics(t, 7, base.Result, out.Result)
+}
+
+func TestRunWithRestartRejectsBadArguments(t *testing.T) {
+	spec := restartSpec()
+	if _, err := RunWithRestart(spec, 0, 3); err == nil {
+		t.Error("zero checkpoint interval accepted")
+	}
+	if _, err := RunWithRestart(spec, 2, 0); err == nil {
+		t.Error("kill at step 0 accepted")
+	}
+	if _, err := RunWithRestart(spec, 2, spec.Steps); err == nil {
+		t.Error("kill at the final step accepted")
+	}
+}

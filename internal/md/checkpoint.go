@@ -1,9 +1,12 @@
 package md
 
 import (
-	"bufio"
+	"bytes"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -13,53 +16,196 @@ import (
 // Checkpointing: long refinement campaigns on shared machines (the
 // paper's J90s ran a batch service) need restartable state.  A checkpoint
 // is the molecular system with its current coordinates plus the
-// velocities and the step counter; resuming at a pair-list update
-// boundary reproduces the uninterrupted trajectory bit for bit.
+// velocities and the absolute step counter; resuming at a pair-list
+// update boundary reproduces the uninterrupted trajectory bit for bit.
+//
+// Checkpoint files are crash-consistent.  The v2 format carries a
+// versioned header line with a CRC of the body:
+//
+//	opalperf checkpoint v2 crc32 xxxxxxxx
+//	step N
+//	<system in the molecule text format>
+//	velocities 3N
+//	vx vy vz
+//	...
+//
+// The checksum spans every byte after the header line; ReadCheckpoint
+// rejects any mismatch, so a torn or bit-rotted file surfaces as a clear
+// error instead of being parsed into garbage.  WriteFile writes to a
+// temp file, syncs and atomically renames it into place, so a crash
+// mid-write never clobbers the previous good checkpoint.  Files written
+// before v2 (the "# opalperf checkpoint" comment form) are still read,
+// without integrity checking.
+
+const (
+	checkpointMagicV2 = "opalperf checkpoint v2 crc32 "
+	// maxCheckpointBytes bounds ReadCheckpoint's input — the same
+	// bounded-read discipline as the transport's readFrame: a lying or
+	// hostile stream cannot force an unbounded allocation.
+	maxCheckpointBytes = 64 << 20
+)
 
 // Checkpoint is a restartable simulation state.
 type Checkpoint struct {
 	Sys  *molecule.System // with current positions
 	Vel  []float64
-	Step int
+	Step int // absolute step number within the overall trajectory
 }
 
-// CheckpointOf captures the state after a finished run.
+// CheckpointOf captures the state after a finished run.  The capture is
+// guaranteed resumable only when the run ended on a pair-list update
+// boundary ((StartStep + len(Steps)) %% UpdateEvery == 0) — Resume
+// enforces this.  Periodic in-run captures (Options.CheckpointEvery) are
+// always taken at boundaries and therefore always resumable.
 func CheckpointOf(sys *molecule.System, res *Result) *Checkpoint {
 	snap := sys.Clone()
 	copy(snap.Pos, res.FinalPos)
 	vel := append([]float64(nil), res.FinalVel...)
-	return &Checkpoint{Sys: snap, Vel: vel, Step: len(res.Steps)}
+	return &Checkpoint{Sys: snap, Vel: vel, Step: res.StartStep + len(res.Steps)}
 }
 
-// Write serializes the checkpoint: the system in the molecule text
-// format followed by a velocities section.
+// checkpointAt captures a mid-run snapshot for the periodic checkpoint
+// sinks.  The engines call it only when step is a pair-list update
+// boundary, which is what makes every periodic checkpoint bit-exact to
+// resume from: the resumed engine rebuilds its lists immediately, at the
+// same point the uninterrupted run would have.
+func checkpointAt(sys *molecule.System, pos, vel []float64, step int) *Checkpoint {
+	snap := sys.Clone()
+	copy(snap.Pos, pos)
+	return &Checkpoint{Sys: snap, Vel: append([]float64(nil), vel...), Step: step}
+}
+
+// ckptSched tracks when the next periodic checkpoint is due.  The
+// schedule fires at the first pair-list update boundary at or after
+// every CheckpointEvery completed steps (rounding captures up to the
+// boundary keeps them exact; see checkpointAt).
+type ckptSched struct {
+	every, update, next int
+}
+
+// newCkptSched builds the schedule for opts (which must already have
+// defaults applied); the zero value is a disabled schedule.
+func newCkptSched(opts Options) ckptSched {
+	if opts.CheckpointEvery <= 0 {
+		return ckptSched{}
+	}
+	return ckptSched{every: opts.CheckpointEvery, update: opts.UpdateEvery, next: opts.CheckpointEvery}
+}
+
+// due reports whether a snapshot must be captured after `completed`
+// steps of the current run, advancing the schedule when it fires.
+func (s *ckptSched) due(completed int) bool {
+	if s.every <= 0 || completed < s.next || completed%s.update != 0 {
+		return false
+	}
+	s.next = completed + s.every
+	return true
+}
+
+// Write serializes the checkpoint in the v2 crash-consistent format:
+// a header line carrying a CRC32 (IEEE) of everything that follows.
 func (c *Checkpoint) Write(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "# opalperf checkpoint\nstep %d\n", c.Step)
-	if err := bw.Flush(); err != nil {
+	var body bytes.Buffer
+	// Coordinates and velocities go out as hex floats (see
+	// molecule.WriteExact): identical round-trip exactness, a fraction of
+	// the formatting cost — this runs every checkpoint interval.
+	body.Grow(100*c.Sys.N + 30*len(c.Vel))
+	fmt.Fprintf(&body, "step %d\n", c.Step)
+	if err := c.Sys.WriteExact(&body); err != nil {
 		return err
 	}
-	if err := c.Sys.Write(w); err != nil {
-		return err
-	}
-	fmt.Fprintf(bw, "velocities %d\n", len(c.Vel))
+	fmt.Fprintf(&body, "velocities %d\n", len(c.Vel))
+	line := make([]byte, 0, 80)
 	for i := 0; i+2 < len(c.Vel); i += 3 {
-		fmt.Fprintf(bw, "%s %s %s\n",
-			strconv.FormatFloat(c.Vel[i], 'g', -1, 64),
-			strconv.FormatFloat(c.Vel[i+1], 'g', -1, 64),
-			strconv.FormatFloat(c.Vel[i+2], 'g', -1, 64))
+		line = strconv.AppendFloat(line[:0], c.Vel[i], 'x', -1, 64)
+		line = append(line, ' ')
+		line = strconv.AppendFloat(line, c.Vel[i+1], 'x', -1, 64)
+		line = append(line, ' ')
+		line = strconv.AppendFloat(line, c.Vel[i+2], 'x', -1, 64)
+		line = append(line, '\n')
+		body.Write(line)
 	}
-	return bw.Flush()
+	if _, err := fmt.Fprintf(w, "%s%08x\n", checkpointMagicV2, crc32.ChecksumIEEE(body.Bytes())); err != nil {
+		return err
+	}
+	_, err := w.Write(body.Bytes())
+	return err
 }
 
-// ReadCheckpoint parses a checkpoint written by Write.
+// WriteFile writes the checkpoint to path crash-consistently: the bytes
+// go to a temp file in path's directory, are synced to stable storage
+// and atomically renamed over path — a crash at any point leaves either
+// the previous checkpoint or the new one, never a torn mix.
+func (c *Checkpoint) WriteFile(path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return fmt.Errorf("md: checkpoint temp file: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("md: writing checkpoint %s: %w", path, err)
+	}
+	if err := c.Write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("md: writing checkpoint %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("md: committing checkpoint %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadCheckpointFile reads a checkpoint file written by WriteFile.
+func ReadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("md: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}
+
+// ReadCheckpoint parses a checkpoint written by Write.  v2 files are
+// verified against their header checksum; the pre-v2 comment-headed
+// format is still accepted, without integrity checking.
 func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
-	raw, err := io.ReadAll(bufio.NewReader(r))
+	raw, err := io.ReadAll(io.LimitReader(r, maxCheckpointBytes+1))
 	if err != nil {
 		return nil, fmt.Errorf("md: reading checkpoint: %w", err)
 	}
+	if len(raw) > maxCheckpointBytes {
+		return nil, fmt.Errorf("md: checkpoint exceeds %d bytes", maxCheckpointBytes)
+	}
 	text := string(raw)
+	if strings.HasPrefix(text, checkpointMagicV2) {
+		i := strings.IndexByte(text, '\n')
+		if i < 0 {
+			return nil, fmt.Errorf("md: v2 checkpoint has no body")
+		}
+		sum, err := strconv.ParseUint(strings.TrimSpace(text[len(checkpointMagicV2):i]), 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("md: bad checkpoint checksum field: %w", err)
+		}
+		body := text[i+1:]
+		if got := crc32.ChecksumIEEE([]byte(body)); got != uint32(sum) {
+			return nil, fmt.Errorf("md: checkpoint corrupt: crc32 %08x, header says %08x", got, uint32(sum))
+		}
+		return parseCheckpointBody(body)
+	}
+	return parseCheckpointBody(text)
+}
 
+// parseCheckpointBody parses the step / system / velocities sections.
+func parseCheckpointBody(text string) (*Checkpoint, error) {
 	// Step header: the first non-comment line.
 	var step int
 	rest := text
@@ -129,11 +275,21 @@ func nextLine(text string) (line, rest string, ok bool) {
 }
 
 // Resume returns run options continuing from the checkpoint: the caller
-// runs the engine on c.Sys with these options.  Restarts are exact when
-// the checkpoint step is a pair-list update boundary (step %% UpdateEvery
-// == 0), since the resumed run rebuilds its lists immediately.
-func (c *Checkpoint) Resume(base Options) Options {
+// runs the engine on c.Sys with these options.  It errors when the
+// checkpoint step is not a pair-list update boundary of base (Step %%
+// UpdateEvery != 0): the resumed engine rebuilds its pair lists on its
+// first step, so an off-boundary resume would silently diverge from the
+// uninterrupted trajectory instead of reproducing it bit for bit.
+// Periodic captures (Options.CheckpointEvery) are always taken at
+// boundaries and always resume.
+func (c *Checkpoint) Resume(base Options) (Options, error) {
+	if ue := base.withDefaults().UpdateEvery; c.Step%ue != 0 {
+		return Options{}, fmt.Errorf(
+			"md: checkpoint at step %d is not a pair-list update boundary (update every %d): resume would not reproduce the uninterrupted trajectory",
+			c.Step, ue)
+	}
 	base.StartVelocities = c.Vel
 	base.InitTemperature = 0 // never re-draw velocities on a resume
-	return base
+	base.StartStep = c.Step
+	return base, nil
 }

@@ -2,6 +2,8 @@ package md
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -59,7 +61,7 @@ func TestCheckpointResumeExact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, _ := runSerialSim(t, restored.Sys, restored.Resume(opts), 4)
+	second, _ := runSerialSim(t, restored.Sys, mustResume(t, restored, opts), 4)
 
 	for i := 0; i < 4; i++ {
 		want := full.Steps[4+i].ETotal
@@ -82,8 +84,8 @@ func TestCheckpointResumeParallel(t *testing.T) {
 	opts := Options{Dt: 1e-4, InitTemperature: 150, Seed: 6}
 	first, _ := runSerialSim(t, sys, opts, 3)
 	cp := CheckpointOf(sys, first)
-	serCont, _ := runSerialSim(t, cp.Sys, cp.Resume(opts), 3)
-	parCont, _, _ := runParallelSim(t, platform.J90(), cp.Sys, cp.Resume(opts), 2, 3)
+	serCont, _ := runSerialSim(t, cp.Sys, mustResume(t, cp, opts), 3)
+	parCont, _, _ := runParallelSim(t, platform.J90(), cp.Sys, mustResume(t, cp, opts), 2, 3)
 	for i := range serCont.Steps {
 		if d := relDiff(serCont.Steps[i].ETotal, parCont.Steps[i].ETotal); d > 1e-9 {
 			t.Fatalf("step %d: serial %v vs parallel %v", i,
@@ -119,8 +121,198 @@ func TestReadCheckpointErrors(t *testing.T) {
 func TestResumeNeverRedrawsVelocities(t *testing.T) {
 	opts := Options{InitTemperature: 300}
 	cp := &Checkpoint{Vel: []float64{1, 2, 3}}
-	r := cp.Resume(opts)
+	r := mustResume(t, cp, opts)
 	if r.InitTemperature != 0 || r.StartVelocities == nil {
 		t.Errorf("resume options = %+v", r)
+	}
+}
+
+// mustResume is Resume for checkpoints known to sit on a boundary.
+func mustResume(t *testing.T, cp *Checkpoint, base Options) Options {
+	t.Helper()
+	opts, err := cp.Resume(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opts
+}
+
+func TestResumeRejectsOffBoundaryCheckpoint(t *testing.T) {
+	// The satellite bugfix: before, an off-boundary resume silently
+	// produced a trajectory that diverged from the uninterrupted one.
+	cp := &Checkpoint{Vel: []float64{1, 2, 3}, Step: 5}
+	if _, err := cp.Resume(Options{UpdateEvery: 2}); err == nil {
+		t.Fatal("Resume accepted a checkpoint off the pair-list update boundary")
+	}
+	if _, err := cp.Resume(Options{UpdateEvery: 1}); err != nil {
+		t.Fatalf("every step is a boundary at UpdateEvery 1: %v", err)
+	}
+	if r := mustResume(t, &Checkpoint{Step: 6}, Options{UpdateEvery: 3}); r.StartStep != 6 {
+		t.Fatalf("StartStep = %d, want 6", r.StartStep)
+	}
+}
+
+func TestCheckpointCRCRejectsCorruption(t *testing.T) {
+	sys := molecule.TestComplex(4, 4, 24)
+	res, _ := runSerialSim(t, sys, Options{Minimize: true}, 1)
+	var buf bytes.Buffer
+	if err := CheckpointOf(sys, res).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.String()
+	if !strings.HasPrefix(good, checkpointMagicV2) {
+		t.Fatalf("Write did not emit the v2 header: %q", good[:40])
+	}
+	// Flip one payload byte anywhere after the header: the CRC must
+	// catch it even though the file still parses as text.
+	for _, off := range []int{len(checkpointMagicV2) + 12, len(good) / 2, len(good) - 2} {
+		bad := []byte(good)
+		bad[off] ^= 1
+		if _, err := ReadCheckpoint(bytes.NewReader(bad)); err == nil {
+			t.Errorf("bit flip at %d accepted", off)
+		} else if !strings.Contains(err.Error(), "corrupt") && !strings.Contains(err.Error(), "checksum") {
+			// Header-field flips surface as checksum-field errors; body
+			// flips as corruption. Anything else means the CRC was not
+			// consulted.
+			t.Errorf("bit flip at %d: unexpected error %v", off, err)
+		}
+	}
+	// Truncations (torn writes) must be rejected too.
+	for _, n := range []int{len(good) / 3, len(good) - 1} {
+		if _, err := ReadCheckpoint(strings.NewReader(good[:n])); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+}
+
+func TestCheckpointLegacyFormatStillReads(t *testing.T) {
+	sys := molecule.TestComplex(4, 4, 24)
+	res, _ := runSerialSim(t, sys, Options{Minimize: true}, 1)
+	cp := CheckpointOf(sys, res)
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the pre-v2 form: comment header, no CRC line.
+	body := buf.String()[strings.IndexByte(buf.String(), '\n')+1:]
+	legacy := "# opalperf checkpoint\n" + body
+	got, err := ReadCheckpoint(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy checkpoint rejected: %v", err)
+	}
+	if got.Step != cp.Step || got.Sys.N != cp.Sys.N {
+		t.Fatalf("legacy read = step %d, n %d", got.Step, got.Sys.N)
+	}
+}
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	sys := molecule.TestComplex(6, 8, 25)
+	res, _ := runSerialSim(t, sys, Options{Minimize: true}, 2)
+	cp := CheckpointOf(sys, res)
+	path := t.TempDir() + "/run.ckpt"
+	if err := cp.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a later snapshot: the rename must replace in place
+	// and leave no temp droppings behind.
+	cp.Step += 2
+	if err := cp.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpointFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != cp.Step {
+		t.Fatalf("read back step %d, want %d", got.Step, cp.Step)
+	}
+	dir, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir) != 1 {
+		names := make([]string, len(dir))
+		for i, e := range dir {
+			names[i] = e.Name()
+		}
+		t.Fatalf("temp files left behind: %v", names)
+	}
+}
+
+// TestPeriodicCheckpointBoundaries pins the rounding rule: with
+// CheckpointEvery 2 and UpdateEvery 3, captures land on the first
+// update boundary at or after each due point — steps 3, 6 and 9.
+func TestPeriodicCheckpointBoundaries(t *testing.T) {
+	sys := molecule.TestComplex(8, 10, 26)
+	var got []int
+	opts := Options{
+		Dt: 1e-4, InitTemperature: 100, Seed: 9, UpdateEvery: 3,
+		CheckpointEvery: 2,
+		CheckpointSink: func(cp *Checkpoint) error {
+			got = append(got, cp.Step)
+			if _, err := cp.Resume(Options{UpdateEvery: 3}); err != nil {
+				return err
+			}
+			return nil
+		},
+	}
+	if _, _ = runSerialSim(t, sys, opts, 10); len(got) != 3 || got[0] != 3 || got[1] != 6 || got[2] != 9 {
+		t.Fatalf("periodic checkpoints at %v, want [3 6 9]", got)
+	}
+}
+
+// TestPeriodicCheckpointResumeExactParallel is the crash-consistency
+// headline on the parallel engine: a run killed mid-flight resumes from
+// its latest periodic checkpoint and reproduces the uninterrupted
+// trajectory bit for bit.
+func TestPeriodicCheckpointResumeExactParallel(t *testing.T) {
+	sys := molecule.TestComplex(10, 14, 27)
+	base := Options{Dt: 1e-4, InitTemperature: 150, Seed: 4, UpdateEvery: 2}
+
+	full, _, _ := runParallelSim(t, platform.J90(), sys, base, 2, 10)
+
+	var latest *Checkpoint
+	killed := base
+	killed.CheckpointEvery = 3
+	killed.CheckpointSink = func(cp *Checkpoint) error { latest = cp; return nil }
+	// "Kill the client" after 7 steps: simply stop running there.  With
+	// CheckpointEvery 3 and UpdateEvery 2 the captures land on boundaries
+	// 4 and 8; the kill at 7 leaves step 4 as the latest.
+	firstLeg, _, _ := runParallelSim(t, platform.J90(), sys, killed, 2, 7)
+	if latest == nil || latest.Step != 4 {
+		t.Fatalf("latest periodic checkpoint step = %v, want 4", latest)
+	}
+	second, _, _ := runParallelSim(t, platform.J90(), latest.Sys, mustResume(t, latest, base), 2, 6)
+	if second.StartStep != 4 {
+		t.Fatalf("resumed StartStep = %d", second.StartStep)
+	}
+	// Stitch: first-leg steps up to the checkpoint, resumed steps after.
+	stitched := append(append([]StepInfo(nil), firstLeg.Steps[:4]...), second.Steps...)
+	if len(stitched) != len(full.Steps) {
+		t.Fatalf("stitched %d steps, want %d", len(stitched), len(full.Steps))
+	}
+	for i := range full.Steps {
+		if stitched[i] != full.Steps[i] {
+			t.Fatalf("step %d diverges:\n stitched %+v\n full     %+v", i, stitched[i], full.Steps[i])
+		}
+	}
+	for i := range full.FinalPos {
+		if full.FinalPos[i] != second.FinalPos[i] {
+			t.Fatalf("final positions diverge at %d", i)
+		}
+	}
+}
+
+func TestCheckpointOptionValidation(t *testing.T) {
+	sys := molecule.TestComplex(4, 4, 28)
+	if _, err := runSerialSimErr(sys, Options{CheckpointEvery: 2}, 2); err == nil {
+		t.Error("CheckpointEvery without CheckpointSink accepted")
+	}
+	sink := func(*Checkpoint) error { return nil }
+	if _, err := runSerialSimErr(sys, Options{CheckpointSink: sink}, 2); err == nil {
+		t.Error("CheckpointSink without CheckpointEvery accepted")
+	}
+	if _, err := runSerialSimErr(sys, Options{CheckpointEvery: -1, CheckpointSink: sink}, 2); err == nil {
+		t.Error("negative CheckpointEvery accepted")
 	}
 }

@@ -108,6 +108,44 @@ type Options struct {
 	// AfterStep, when set, runs on the client after every completed step
 	// — chaos tests use it to trigger failures at a deterministic point.
 	AfterStep func(step int, info StepInfo)
+	// SelfHeal upgrades graceful degradation to self-healing: instead of
+	// dropping a dead server, the parallel client asks the supervisor to
+	// respawn a replacement task, re-initializes it with the dead server's
+	// rank over the full configured distribution (the rank-explicit init
+	// RPC), and rebuilds its pair list from the coordinates of the last
+	// pair-list update boundary — so the restored fleet computes the exact
+	// same partial sums as an undisturbed run and healed physics is
+	// bit-identical.  Deaths are detected through FaultTolerant call
+	// timeouts on fabrics with real receive deadlines, or declared by an
+	// administrative Kills schedule on the deterministic fabrics.
+	// Requires Accounting off, like FaultTolerant.
+	SelfHeal bool
+	// MaxRespawns bounds the total replacements a self-healing run may
+	// spawn (<= 0: unlimited).  Once the budget is exhausted, further
+	// deaths degrade gracefully as without SelfHeal.
+	MaxRespawns int
+	// Kills, with SelfHeal, is the administrative kill schedule: before
+	// the phases of step s, every server rank in Kills(s) is declared
+	// dead and healed without any timeout — the deterministic way to
+	// exercise the respawn path on the simulated and local fabrics, where
+	// replies cannot be lost and a call timeout would never fire.  The
+	// victim task keeps running idle until the shutdown handshake stops
+	// it.  Requires SelfHeal.
+	Kills func(step int) []int
+	// CheckpointEvery, with CheckpointSink, enables periodic in-run
+	// checkpointing: a snapshot is captured at the first pair-list update
+	// boundary at or after every CheckpointEvery completed steps, so
+	// every periodic checkpoint resumes bit-exactly (Checkpoint.Resume's
+	// contract).  Both fields must be set together.
+	CheckpointEvery int
+	// CheckpointSink receives each periodic checkpoint; its system and
+	// velocity slices are fresh copies the sink may retain.  A sink error
+	// aborts the run.
+	CheckpointSink func(*Checkpoint) error
+	// StartStep is the absolute step number of the run's first step.
+	// Checkpoint resumes set it so that periodic checkpoints captured in
+	// a resumed run carry trajectory-absolute step numbers.
+	StartStep int
 }
 
 func (o Options) withDefaults() Options {
@@ -168,6 +206,17 @@ type Result struct {
 	Recoveries      int
 	RecoverySeconds float64
 	LostTIDs        []int
+	// Respawns counts dead servers the self-healing supervisor replaced
+	// (Options.SelfHeal); RespawnSeconds is the client time spent
+	// detecting those deaths, respawning replacements and re-initializing
+	// them — attributed to vm.SegRecovery on fabrics that record
+	// timelines, like RecoverySeconds.
+	Respawns       int
+	RespawnSeconds float64
+	// StartStep echoes Options.StartStep: the absolute step number of
+	// Steps[0] within the overall trajectory (non-zero after a checkpoint
+	// resume).
+	StartStep int
 }
 
 // FinalEnergy returns the total energy of the last step.
@@ -327,4 +376,16 @@ func validateRun(sys *molecule.System, steps int) error {
 		return fmt.Errorf("md: steps must be positive, have %d", steps)
 	}
 	return sys.Validate()
+}
+
+// validateCheckpointing checks the periodic-checkpointing option pair,
+// shared by both engines.
+func (o Options) validateCheckpointing() error {
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("md: CheckpointEvery must be non-negative, have %d", o.CheckpointEvery)
+	}
+	if (o.CheckpointEvery > 0) != (o.CheckpointSink != nil) {
+		return fmt.Errorf("md: CheckpointEvery and CheckpointSink must be set together")
+	}
+	return nil
 }

@@ -1,0 +1,71 @@
+package md
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"opalperf/internal/molecule"
+)
+
+// FuzzReadCheckpoint hardens the checkpoint parser the way PR 2's
+// bounded-read discipline hardened readFrame: arbitrary input must never
+// panic and never allocate beyond the declared bounds (the velocity
+// slice is sized from the parsed system, not from attacker-controlled
+// counts; the whole read is capped at maxCheckpointBytes).  Inputs that
+// do parse must survive a write/read round trip.
+func FuzzReadCheckpoint(f *testing.F) {
+	// Seed with a valid v2 checkpoint, its legacy form, and mutations
+	// that target each parser stage.
+	sys := molecule.TestComplex(4, 4, 31)
+	cp := &Checkpoint{
+		Sys:  sys,
+		Vel:  make([]float64, 3*sys.N),
+		Step: 2,
+	}
+	for i := range cp.Vel {
+		cp.Vel[i] = float64(i) * 0.25
+	}
+	var buf bytes.Buffer
+	if err := cp.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.String()
+	body := good[strings.IndexByte(good, '\n')+1:]
+	f.Add([]byte(good))
+	f.Add([]byte("# opalperf checkpoint\n" + body))
+	f.Add([]byte(checkpointMagicV2 + "00000000\n" + body))
+	f.Add([]byte(checkpointMagicV2 + "zzzzzzzz\n" + body))
+	f.Add([]byte(checkpointMagicV2))
+	f.Add([]byte("step 3\nvelocities 9\n1 2 3"))
+	f.Add([]byte("step -1\n\nvelocities 0\n"))
+	f.Add([]byte("velocities 100000000000\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := ReadCheckpoint(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if cp.Sys == nil {
+			t.Fatal("nil system on successful parse")
+		}
+		if len(cp.Vel) != 3*cp.Sys.N {
+			t.Fatalf("parsed %d velocity components for %d atoms", len(cp.Vel), cp.Sys.N)
+		}
+		// Round trip: whatever parsed must serialize and parse again to
+		// the same step and sizes.
+		var out bytes.Buffer
+		if err := cp.Write(&out); err != nil {
+			t.Fatalf("round-trip write: %v", err)
+		}
+		again, err := ReadCheckpoint(&out)
+		if err != nil {
+			t.Fatalf("round-trip read: %v", err)
+		}
+		if again.Step != cp.Step || again.Sys.N != cp.Sys.N || len(again.Vel) != len(cp.Vel) {
+			t.Fatalf("round trip changed shape: step %d->%d, n %d->%d",
+				cp.Step, again.Step, cp.Sys.N, again.Sys.N)
+		}
+	})
+}

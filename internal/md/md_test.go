@@ -32,6 +32,20 @@ func runSerialSim(t *testing.T, sys *molecule.System, opts Options, steps int) (
 	return res, s.Time()
 }
 
+// runSerialSimErr is runSerialSim for runs expected to error out.
+func runSerialSimErr(sys *molecule.System, opts Options, steps int) (*Result, error) {
+	s := pvm.NewSimVM(platform.J90(), nil)
+	var res *Result
+	var err error
+	s.SpawnRoot("opal", func(task pvm.Task) {
+		res, err = RunSerial(task, sys, opts, steps)
+	})
+	if e := s.Run(); e != nil {
+		return nil, e
+	}
+	return res, err
+}
+
 // runParallelSim runs the parallel engine on a simulated platform.
 func runParallelSim(t *testing.T, pl *platform.Platform, sys *molecule.System,
 	opts Options, nservers, steps int) (*Result, *trace.Recorder, float64) {

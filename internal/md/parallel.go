@@ -9,7 +9,12 @@ import (
 	"opalperf/internal/molecule"
 	"opalperf/internal/pvm"
 	"opalperf/internal/sciddle"
+	"opalperf/internal/supervise"
 )
+
+// errAdminKill marks a server death declared by an administrative kill
+// schedule (Options.Kills) rather than detected by a call timeout.
+var errAdminKill = errors.New("administratively killed")
 
 // RunParallel executes the parallel Opal on the calling task (the client)
 // with nservers spawned computation servers, following the client-server
@@ -30,6 +35,15 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 	if ft && accounting {
 		return nil, fmt.Errorf("md: fault tolerance requires Accounting off (a retried call would desynchronize the phase barriers)")
 	}
+	if opts.SelfHeal && accounting {
+		return nil, fmt.Errorf("md: self-healing requires Accounting off (heal-time calls bypass the phase barriers)")
+	}
+	if opts.Kills != nil && !opts.SelfHeal {
+		return nil, fmt.Errorf("md: Kills is an administrative kill schedule for self-healing runs; set SelfHeal")
+	}
+	if err := opts.validateCheckpointing(); err != nil {
+		return nil, err
+	}
 	parties := nservers + 1
 	tids := t.Spawn("opal-server", nservers, func(st pvm.Task) {
 		var quit <-chan struct{}
@@ -44,6 +58,28 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 		conn.SetCallTimeout(opts.CallTimeout, opts.CallRetries)
 	}
 	client := opalrpc.NewOpalClient(conn)
+
+	// The self-healing supervisor spawns rank-inheriting replacement
+	// servers.  The k-th replacement's kill switch is keyed past the
+	// original fleet (nservers + k): every singleton Spawn numbers its
+	// task from zero, so Instance() cannot distinguish replacements.
+	var sup *supervise.Supervisor
+	if opts.SelfHeal {
+		sup = supervise.New(supervise.Options{
+			Width:       nservers,
+			MaxRespawns: opts.MaxRespawns,
+			Spawn: func(k int) int {
+				rtids := t.Spawn("opal-server", 1, func(st pvm.Task) {
+					var quit <-chan struct{}
+					if opts.ServerQuit != nil {
+						quit = opts.ServerQuit(nservers + k)
+					}
+					ServeOpalOpts(st, sciddle.ServeOptions{Parties: parties, Quit: quit})
+				})
+				return rtids[0]
+			},
+		})
+	}
 
 	// Replicate the global data (amortized start-up).
 	d := newNBData(sys, opts.Cutoff)
@@ -67,7 +103,7 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 	if opts.AfterInit != nil {
 		opts.AfterInit()
 	}
-	res := &Result{ServerTIDs: tids}
+	res := &Result{ServerTIDs: tids, StartStep: opts.StartStep}
 	t0 := t.Now()
 	res.InitSeconds = t0
 
@@ -82,12 +118,25 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 	packUpdate := func(i int, args *pvm.Buffer) { opalrpc.PackOpalUpdateArgsInto(args, c.pos) }
 	packNbint := func(i int, args *pvm.Buffer) { opalrpc.PackOpalNbintArgsInto(args, c.pos) }
 
+	// boundaryPos mirrors the master coordinates as of the last pair-list
+	// update boundary.  The recovery and heal paths rebuild pair lists
+	// from it — not from the current coordinates — so a mid-interval
+	// death cannot shift the active-pair epoch: with UpdateEvery > 1 a
+	// replacement reproduces the dead server's exact list.
+	trackBoundary := ft || sup != nil
+	var boundaryPos []float64
+	var packBoundary func(i int, args *pvm.Buffer)
+	if trackBoundary {
+		boundaryPos = append([]float64(nil), c.pos...)
+		packBoundary = func(i int, args *pvm.Buffer) { opalrpc.PackOpalUpdateArgsInto(args, boundaryPos) }
+	}
+
 	// recoverFrom handles one detected server death in fault-tolerant
 	// mode: drop the dead server, re-initialize the survivors with its
 	// pair rows redistributed (the pseudo-random distribution recomputed
-	// over the smaller server set), rebuild their lists from the current
-	// coordinates and attribute the whole window as recovery.  Further
-	// deaths during recovery cascade through the loop.
+	// over the smaller server set), rebuild their lists from the last
+	// update-boundary coordinates and attribute the whole window as
+	// recovery.  Further deaths during recovery cascade through the loop.
 	recoverFrom := func(se *sciddle.ServerError) error {
 		start := t.Now()
 		for {
@@ -104,8 +153,9 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 					}
 				}
 				// Re-initialized lists are empty; rebuild them from the
-				// current coordinates before any phase is redone.
-				return client.UpdatePhaseIntoErr(packUpdate, updateReps[:nsrv])
+				// last update-boundary coordinates before any phase is
+				// redone, preserving the active-pair epoch mid-interval.
+				return client.UpdatePhaseIntoErr(packBoundary, updateReps[:nsrv])
 			}()
 			if err == nil {
 				break
@@ -122,9 +172,61 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 		pvm.ReportRecovery(t, start, end)
 		return nil
 	}
+	// healFrom handles one detected server death in self-healing mode:
+	// the supervisor spawns a replacement that inherits the dead server's
+	// rank in the full-width distribution, is re-initialized through the
+	// rank-explicit init RPC, and rebuilds the dead server's exact pair
+	// list from the last update-boundary coordinates — the restored fleet
+	// computes bit-identical partial sums.  Deaths during healing cascade
+	// through the loop; once the respawn budget runs out, the remaining
+	// deaths fall back to graceful degradation.
+	healFrom := func(se *sciddle.ServerError) error {
+		start := t.Now()
+		healed := false
+		finishWindow := func() {
+			end := t.Now()
+			res.RespawnSeconds += end - start
+			pvm.ReportRecovery(t, start, end)
+		}
+		for {
+			newTID, ok := sup.OnDeath(se.Server, se.TID)
+			if !ok {
+				// Budget exhausted: account the healing done so far in
+				// this window, then degrade for the present death.
+				if healed {
+					finishWindow()
+				}
+				return recoverFrom(se)
+			}
+			res.LostTIDs = append(res.LostTIDs, se.TID)
+			conn.ReplaceServer(se.Server, newTID)
+			res.ServerTIDs[se.Server] = newTID
+			res.Respawns++
+			healed = true
+			err := func() error {
+				if _, err := conn.CallErr(se.Server, "init", initArgs(se.Server, nservers)); err != nil {
+					return err
+				}
+				_, err := conn.CallErr(se.Server, "update", opalrpc.PackOpalUpdateArgs(boundaryPos))
+				return err
+			}()
+			if err == nil {
+				break
+			}
+			next := (*sciddle.ServerError)(nil)
+			if !errors.As(err, &next) {
+				return err
+			}
+			se = next
+		}
+		sup.Healed()
+		finishWindow()
+		return nil
+	}
+
 	// runPhase executes one RPC phase, surviving server deaths when fault
 	// tolerance is on.  phase must re-slice its reply slots on each
-	// attempt: recovery shrinks the server set.
+	// attempt: recovery may shrink the server set.
 	runPhase := func(phase func() error) error {
 		for {
 			err := phase()
@@ -135,13 +237,34 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 			if !ft || !errors.As(err, &se) {
 				return err
 			}
-			if rerr := recoverFrom(se); rerr != nil {
+			var rerr error
+			if sup != nil {
+				rerr = healFrom(se)
+			} else {
+				rerr = recoverFrom(se)
+			}
+			if rerr != nil {
 				return rerr
 			}
 		}
 	}
 
+	ckpt := newCkptSched(opts)
 	for step := 0; step < steps; step++ {
+		// Administrative kills: the schedule declares these ranks dead
+		// before the step's phases; the supervisor heals each one.  The
+		// victim task idles until the shutdown handshake stops it.
+		if opts.Kills != nil {
+			for _, rank := range opts.Kills(step) {
+				if rank < 0 || rank >= conn.NumServers() {
+					continue
+				}
+				se := &sciddle.ServerError{Server: rank, TID: conn.Server(rank), Err: errAdminKill}
+				if err := healFrom(se); err != nil {
+					return nil, err
+				}
+			}
+		}
 		info := StepInfo{}
 		if step%opts.UpdateEvery == 0 {
 			// Update phase: ship coordinates, servers rebuild their
@@ -160,6 +283,9 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 				info.PairChecks += r.Checks
 			}
 			info.Updated = true
+			if trackBoundary {
+				copy(boundaryPos, c.pos)
+			}
 		}
 		// Energy evaluation phase: coordinates out, partial energies and
 		// gradients back (eqs. 7 and 9).
@@ -197,6 +323,11 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 			}
 		}
 		res.Steps = append(res.Steps, fin)
+		if ckpt.due(step + 1) {
+			if err := opts.CheckpointSink(checkpointAt(sys, c.pos, c.vel, opts.StartStep+step+1)); err != nil {
+				return nil, fmt.Errorf("md: checkpoint sink: %w", err)
+			}
+		}
 		if opts.AfterStep != nil {
 			opts.AfterStep(step, fin)
 		}

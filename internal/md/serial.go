@@ -20,16 +20,20 @@ func RunSerial(t pvm.Task, sys *molecule.System, opts Options, steps int) (*Resu
 	if err := validateRun(sys, steps); err != nil {
 		return nil, err
 	}
+	if err := opts.validateCheckpointing(); err != nil {
+		return nil, err
+	}
 	d := newNBData(sys, opts.Cutoff)
 	c := newClientState(sys, opts)
 	owners := pairlist.Owners(sys.N, 1, opts.Strategy, opts.Seed)
 	list := pairlist.NewList(sys.N, pairlist.RowsOf(owners, 0))
 
-	res := &Result{}
+	res := &Result{StartStep: opts.StartStep}
 	t0 := t.Now()
 	res.InitSeconds = t0
 
 	grad := make([]float64, 3*sys.N)
+	ckpt := newCkptSched(opts)
 	for step := 0; step < steps; step++ {
 		info := StepInfo{}
 		if step%opts.UpdateEvery == 0 {
@@ -60,6 +64,11 @@ func RunSerial(t pvm.Task, sys *molecule.System, opts Options, steps int) (*Resu
 			}
 		}
 		res.Steps = append(res.Steps, fin)
+		if ckpt.due(step + 1) {
+			if err := opts.CheckpointSink(checkpointAt(sys, c.pos, c.vel, opts.StartStep+step+1)); err != nil {
+				return nil, fmt.Errorf("md: checkpoint sink: %w", err)
+			}
+		}
 		if opts.Minimize && opts.GradTol > 0 && fin.GradMax < opts.GradTol {
 			res.Converged = true
 			break

@@ -13,34 +13,82 @@ import (
 // center and per bonded term.  Deterministic output, round-trip exact
 // (coordinates are serialized with full float64 precision).
 
-// Write serializes the system.
-func (s *System) Write(w io.Writer) error {
+// Write serializes the system with shortest-decimal coordinates: exact
+// round trip, human-readable, what -save files carry.
+func (s *System) Write(w io.Writer) error { return s.write(w, 'g') }
+
+// WriteExact serializes the system with hexadecimal floating-point
+// coordinates.  The round trip through Read is just as exact
+// (strconv.ParseFloat accepts both forms), but formatting is ~3x
+// cheaper than the shortest-decimal search — the periodic-checkpoint
+// hot path uses it to stay inside the recovery plane's overhead budget.
+func (s *System) WriteExact(w io.Writer) error { return s.write(w, 'x') }
+
+func (s *System) write(w io.Writer, ffmt byte) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "# opalperf molecular complex\n")
 	fmt.Fprintf(bw, "name %s\n", strings.ReplaceAll(s.Name, "\n", " "))
 	fmt.Fprintf(bw, "box %s\n", ftoa(s.Box))
 	fmt.Fprintf(bw, "atoms %d %d\n", s.N, s.NSolute)
+	// The per-atom and per-term lines are built with strconv appends into
+	// one reused buffer: periodic checkpointing serializes the full system
+	// every interval, and fmt's per-field boxing dominated that snapshot
+	// cost.  The bytes emitted are identical to the fmt form.
+	buf := make([]byte, 0, 128)
+	num := func(v int) { buf = strconv.AppendInt(buf, int64(v), 10); buf = append(buf, ' ') }
+	flt := func(v float64) { buf = strconv.AppendFloat(buf, v, ffmt, -1, 64); buf = append(buf, ' ') }
+	line := func() {
+		buf[len(buf)-1] = '\n'
+		bw.Write(buf)
+		buf = buf[:0]
+	}
 	for i := 0; i < s.N; i++ {
-		fmt.Fprintf(bw, "%d %d %s %s %s %s %s\n",
-			s.Kind[i], s.Type[i],
-			ftoa(s.Pos[3*i]), ftoa(s.Pos[3*i+1]), ftoa(s.Pos[3*i+2]),
-			ftoa(s.Charge[i]), ftoa(s.Mass[i]))
+		num(int(s.Kind[i]))
+		num(s.Type[i])
+		flt(s.Pos[3*i])
+		flt(s.Pos[3*i+1])
+		flt(s.Pos[3*i+2])
+		flt(s.Charge[i])
+		flt(s.Mass[i])
+		line()
 	}
 	fmt.Fprintf(bw, "bonds %d\n", len(s.Bonds))
 	for _, b := range s.Bonds {
-		fmt.Fprintf(bw, "%d %d %s %s\n", b.I, b.J, ftoa(b.Kb), ftoa(b.B0))
+		num(b.I)
+		num(b.J)
+		flt(b.Kb)
+		flt(b.B0)
+		line()
 	}
 	fmt.Fprintf(bw, "angles %d\n", len(s.Angles))
 	for _, a := range s.Angles {
-		fmt.Fprintf(bw, "%d %d %d %s %s\n", a.I, a.J, a.K, ftoa(a.Ktheta), ftoa(a.Theta0))
+		num(a.I)
+		num(a.J)
+		num(a.K)
+		flt(a.Ktheta)
+		flt(a.Theta0)
+		line()
 	}
 	fmt.Fprintf(bw, "dihedrals %d\n", len(s.Dihedrals))
 	for _, d := range s.Dihedrals {
-		fmt.Fprintf(bw, "%d %d %d %d %s %d %s\n", d.I, d.J, d.K, d.L, ftoa(d.Kphi), d.N, ftoa(d.Delta))
+		num(d.I)
+		num(d.J)
+		num(d.K)
+		num(d.L)
+		flt(d.Kphi)
+		num(d.N)
+		flt(d.Delta)
+		line()
 	}
 	fmt.Fprintf(bw, "impropers %d\n", len(s.Impropers))
 	for _, im := range s.Impropers {
-		fmt.Fprintf(bw, "%d %d %d %d %s %s\n", im.I, im.J, im.K, im.L, ftoa(im.Kxi), ftoa(im.Xi0))
+		num(im.I)
+		num(im.J)
+		num(im.K)
+		num(im.L)
+		flt(im.Kxi)
+		flt(im.Xi0)
+		line()
 	}
 	return bw.Flush()
 }

@@ -304,6 +304,27 @@ func (c *Conn) DropServer(i int) {
 	c.servers = append(c.servers[:i], c.servers[i+1:]...)
 }
 
+// ReplaceServer swaps the server at index i for a freshly spawned
+// replacement with task id tid.  The old TID is retired to the dropped
+// list (it receives a best-effort stop at Close, in case the declared
+// death was a timeout false positive) and tid takes over the same index,
+// so server indices — and with them any rank-indexed work distribution —
+// are preserved across a respawn.  Incompatible with accounting mode,
+// like DropServer.
+func (c *Conn) ReplaceServer(i, tid int) {
+	if c.accounting {
+		panic("sciddle: ReplaceServer is incompatible with accounting mode")
+	}
+	if i < 0 || i >= len(c.servers) {
+		panic(fmt.Sprintf("sciddle: server index %d out of range", i))
+	}
+	c.dropped = append(c.dropped, c.servers[i])
+	c.servers[i] = tid
+}
+
+// Server returns the TID of the server at index i.
+func (c *Conn) Server(i int) int { return c.servers[i] }
+
 // Accounting reports whether accounting mode is active.
 func (c *Conn) Accounting() bool { return c.accounting }
 

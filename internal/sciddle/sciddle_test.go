@@ -291,3 +291,61 @@ func TestVolumeScalesWithPayload(t *testing.T) {
 	}
 	_ = math.Abs
 }
+
+func TestReplaceServerPreservesIndex(t *testing.T) {
+	rec := trace.NewRecorder()
+	s := pvm.NewSimVM(platform.FastCoPs(), rec)
+	s.SpawnRoot("client", func(ct pvm.Task) {
+		tids := ct.Spawn("server", 2, func(st pvm.Task) {
+			Serve(st, echoService(), ServeOptions{})
+		})
+		c := Connect(ct, tids)
+		rep := ct.Spawn("server-replacement", 1, func(st pvm.Task) {
+			Serve(st, echoService(), ServeOptions{})
+		})
+		old := c.Server(1)
+		c.ReplaceServer(1, rep[0])
+		if c.NumServers() != 2 {
+			panic("width changed by ReplaceServer")
+		}
+		if c.Server(1) != rep[0] || c.Server(0) != tids[0] {
+			panic(fmt.Sprintf("servers = %v, want [%d %d]", c.Servers(), tids[0], rep[0]))
+		}
+		if old == c.Server(1) {
+			panic("replacement TID equals the retired one")
+		}
+		// Calls through the replaced index reach the replacement (which,
+		// as a singleton spawn, reports instance 0).
+		b := c.Call(1, "double", pvm.NewBuffer().PackFloat64(3))
+		if got := b.MustFloat64(); got != 6 {
+			panic(fmt.Sprintf("double via replacement = %v, want 6", got))
+		}
+		if inst := b.MustInt(); inst != 0 {
+			panic(fmt.Sprintf("replacement instance = %d, want 0", inst))
+		}
+		// Close must also stop the retired server (via the dropped list)
+		// or the simulation would never drain.
+		c.Close()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplaceServerPanics(t *testing.T) {
+	mustPanic := func(fn func()) (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		fn()
+		return
+	}
+	runClient(t, platform.FastCoPs, 2, true, func(c *Conn) {
+		if !mustPanic(func() { c.ReplaceServer(0, 999) }) {
+			panic("ReplaceServer under accounting did not panic")
+		}
+	})
+	runClient(t, platform.FastCoPs, 2, false, func(c *Conn) {
+		if !mustPanic(func() { c.ReplaceServer(2, 999) }) {
+			panic("out-of-range ReplaceServer did not panic")
+		}
+	})
+}
