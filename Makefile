@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json check chaos cover fuzz figures clean
+.PHONY: all build test race bench bench-json check chaos cover fuzz figures clean telemetry-budget
+
+# Maximum steady-state CPU overhead (percent) of the telemetry plane,
+# enabled vs disabled, enforced by the telemetry-budget target.
+TELEMETRY_BUDGET ?= 2.0
 
 all: build test
 
@@ -35,6 +39,18 @@ bench:
 # Snapshot the hot-path benchmarks into BENCH_<date>.json.
 bench-json:
 	$(GO) run ./cmd/benchjson -pkg . -bench .
+
+# Fail when the telemetry plane's enabled-vs-disabled CPU overhead exceeds
+# the budget (min-of-pairs rusage comparison; see BenchmarkTelemetryOverhead).
+telemetry-budget:
+	@out=$$($(GO) test -bench BenchmarkTelemetryOverhead -benchtime 1x -run xxx . | tee /dev/stderr); \
+	echo "$$out" | awk -v budget=$(TELEMETRY_BUDGET) ' \
+		/BenchmarkTelemetryOverhead/ { for (i = 1; i < NF; i++) if ($$(i+1) == "overhead%") ov = $$i } \
+		END { \
+			if (ov == "") { print "telemetry-budget: no overhead% metric found"; exit 1 } \
+			if (ov + 0 > budget + 0) { printf "telemetry-budget: overhead %s%% exceeds budget %s%%\n", ov, budget; exit 1 } \
+			printf "telemetry-budget: overhead %s%% within budget %s%%\n", ov, budget \
+		}'
 
 cover:
 	$(GO) test ./internal/... -cover

@@ -621,4 +621,3 @@ func BenchmarkBreakdownAggregation(b *testing.B) {
 		trace.ComputeBreakdown(rec, 0, []int{1, 2, 3, 4, 5, 6, 7}, 5)
 	}
 }
-

@@ -9,6 +9,8 @@
 //	opal -platform fast -size large -cutoff 10 -update 10 -servers 7
 //	opal -size small -servers 0            # the serial Opal 2.6
 //	opal -size small -fault-rate 0.02 -fault-seed 7   # seeded chaos run
+//	opal -size small -journal run.jsonl -trace-json run.trace.json
+//	opal -size medium -steps 50 -http 127.0.0.1:9090  # live /metrics, /healthz, pprof
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"opalperf/internal/platform"
 	"opalperf/internal/report"
 	"opalperf/internal/sciddle"
+	"opalperf/internal/telemetry"
 	"opalperf/internal/trace"
 )
 
@@ -53,8 +56,45 @@ func main() {
 		ckptEvery  = flag.Int("checkpoint-every", 0, "also write -checkpoint atomically every N steps, at pair-list update boundaries (0 = end of run only)")
 		heal       = flag.Bool("supervise", false, "self-heal: respawn dead servers at their rank and re-expand to full width (forces -accounting=false)")
 		killSrv    = flag.String("kill-server", "", "administrative kill schedule 'step:rank[,step:rank...]' (requires -supervise)")
+		journal    = flag.String("journal", "", "append a JSONL run journal of lifecycle events to this file")
+		traceJSON  = flag.String("trace-json", "", "write the run's timelines as Chrome trace-event JSON (load in chrome://tracing or ui.perfetto.dev)")
+		httpAddr   = flag.String("http", "", "serve /metrics (Prometheus), /healthz and /debug/pprof on this address while running")
+		flightN    = flag.Int("flight", 256, "flight-recorder depth: last N journal events dumped to stderr on degradation or crash")
 	)
 	flag.Parse()
+
+	// The telemetry plane observes the run; it never feeds back into the
+	// simulation, so physics and virtual times are unchanged by enabling it.
+	telemetry.SetEnabled(true)
+	telemetry.SetRun(telemetry.NewRunID())
+	var journalOut *os.File
+	if *journal != "" {
+		var err error
+		journalOut, err = os.OpenFile(*journal, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer journalOut.Close()
+	}
+	j := telemetry.StartJournal(journalOut, *flightN)
+	j.SetDumpWriter(os.Stderr)
+	defer telemetry.StopJournal()
+	defer func() {
+		// A panicking run dumps the flight recorder before dying: the last
+		// N lifecycle events are the crash context.
+		if r := recover(); r != nil {
+			telemetry.DumpFlight(os.Stderr)
+			panic(r)
+		}
+	}()
+	if *httpAddr != "" {
+		bound, stopHTTP, err := telemetry.Serve(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stopHTTP()
+		fmt.Printf("telemetry: serving /metrics, /healthz, /debug/pprof on http://%s\n", bound)
+	}
 
 	pl, err := platform.ByName(*plKey)
 	if err != nil {
@@ -227,6 +267,24 @@ func main() {
 		fmt.Print(trace.RenderTimeline(out.Recorder, names,
 			out.Result.StartSeconds, out.Result.EndSeconds, 100))
 	}
+	if *traceJSON != "" {
+		names := map[int]string{0: "client"}
+		for i, tid := range out.Result.ServerTIDs {
+			names[tid] = fmt.Sprintf("server %d", i)
+		}
+		f, err := os.Create(*traceJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.WriteChromeTrace(f, out.Recorder, names); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d segments written to %s\n", len(out.Recorder.Segments()), *traceJSON)
+	}
 
 	if *ckptFile != "" {
 		cp := md.CheckpointOf(sys, out.Result)
@@ -266,5 +324,8 @@ func effPrefix(sys *molecule.System, cutoff float64) string {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "opal:", err)
+	// The flight recorder holds the last lifecycle events — the context of
+	// the failure.  os.Exit skips deferred dumps, so dump here.
+	telemetry.DumpFlight(os.Stderr)
 	os.Exit(1)
 }

@@ -25,6 +25,8 @@
 // breakdown.
 package fault
 
+import "opalperf/internal/telemetry"
+
 // Config parameterizes a fault plan.  All rates are probabilities in
 // [0, 1]; all times are virtual seconds.  The zero Config injects nothing.
 type Config struct {
@@ -113,13 +115,25 @@ type Plan struct {
 	cfg   Config
 	rng   splitmix
 	stats Stats
+	// Per-kind telemetry counters, resolved once at plan creation so the
+	// injection hot paths skip the vec lookup.  Counting happens outside
+	// the pseudo-random stream, so telemetry can never perturb a schedule.
+	cDrops, cDups, cDelays, cCrashes, cStragglers *telemetry.Counter
 }
 
 // NewPlan creates a plan for the given config.  Each simulation run needs
 // its own fresh plan: replaying a seed means re-creating the plan.
 func NewPlan(cfg Config) *Plan {
 	cfg = cfg.withDefaults()
-	return &Plan{cfg: cfg, rng: newSplitmix(cfg.Seed)}
+	return &Plan{
+		cfg:         cfg,
+		rng:         newSplitmix(cfg.Seed),
+		cDrops:      telemetry.FaultsInjected.With("drop"),
+		cDups:       telemetry.FaultsInjected.With("dup"),
+		cDelays:     telemetry.FaultsInjected.With("delay"),
+		cCrashes:    telemetry.FaultsInjected.With("crash"),
+		cStragglers: telemetry.FaultsInjected.With("straggler"),
+	}
 }
 
 // Stats returns the counts of faults injected so far.
@@ -145,14 +159,17 @@ func (p *Plan) scale() float64 { return 0.5 + p.rng.float64() }
 func (p *Plan) SendFault(src, dst, tag, bytes int) (delay, resend float64) {
 	if p.chance(p.cfg.DropRate) {
 		p.stats.Drops++
+		p.cDrops.Add(1)
 		delay += p.cfg.RetryTimeout * p.scale()
 	}
 	if p.chance(p.cfg.DelayRate) {
 		p.stats.Delays++
+		p.cDelays.Add(1)
 		delay += p.cfg.DelayMean * p.scale()
 	}
 	if p.chance(p.cfg.DupRate) {
 		p.stats.Dups++
+		p.cDups.Add(1)
 		// The duplicate retransmits the same volume: charge roughly the
 		// per-message cost again.  The kernel prices the resend as extra
 		// occupancy of the shared channel, so the magnitude here is a
@@ -168,6 +185,7 @@ func (p *Plan) ComputeFault(proc int) float64 {
 		return 0
 	}
 	p.stats.Crashes++
+	p.cCrashes.Add(1)
 	return p.cfg.RecoveryTime * p.scale()
 }
 
@@ -177,5 +195,6 @@ func (p *Plan) BarrierFault(proc int) float64 {
 		return 0
 	}
 	p.stats.Stragglers++
+	p.cStragglers.Add(1)
 	return p.cfg.StraggleTime * p.scale()
 }

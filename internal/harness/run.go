@@ -14,6 +14,7 @@ import (
 	"opalperf/internal/molecule"
 	"opalperf/internal/platform"
 	"opalperf/internal/pvm"
+	"opalperf/internal/telemetry"
 	"opalperf/internal/trace"
 )
 
@@ -51,6 +52,10 @@ type RunOutcome struct {
 func Run(spec RunSpec) (RunOutcome, error) {
 	rec := trace.NewRecorder()
 	sim := pvm.NewSimVM(spec.Platform, rec)
+	telemetry.Emit("run_start", telemetry.F{
+		"platform": spec.Platform.Name, "system": spec.Sys.Name,
+		"servers": spec.Servers, "steps": spec.Steps,
+	})
 	var plan *fault.Plan
 	if spec.Faults != nil {
 		plan = fault.NewPlan(*spec.Faults)
@@ -67,12 +72,18 @@ func Run(spec RunSpec) (RunOutcome, error) {
 		res, runErr = md.RunParallel(t, spec.Sys, opts, spec.Servers, spec.Steps)
 	})
 	if err := sim.Run(); err != nil {
+		telemetry.Emit("run_end", telemetry.F{"error": err.Error()})
 		return RunOutcome{}, fmt.Errorf("harness: simulation: %w", err)
 	}
 	if runErr != nil {
+		telemetry.Emit("run_end", telemetry.F{"error": runErr.Error()})
 		return RunOutcome{}, runErr
 	}
 	out := RunOutcome{Result: res, Wall: res.StepSeconds, Recorder: rec}
+	telemetry.Emit("run_end", telemetry.F{
+		"wall": out.Wall, "steps": len(res.Steps),
+		"respawns": res.Respawns, "recoveries": res.Recoveries,
+	})
 	if plan != nil {
 		out.FaultStats = plan.Stats()
 	}

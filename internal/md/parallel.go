@@ -10,6 +10,7 @@ import (
 	"opalperf/internal/pvm"
 	"opalperf/internal/sciddle"
 	"opalperf/internal/supervise"
+	"opalperf/internal/telemetry"
 )
 
 // errAdminKill marks a server death declared by an administrative kill
@@ -131,6 +132,10 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 		packBoundary = func(i int, args *pvm.Buffer) { opalrpc.PackOpalUpdateArgsInto(args, boundaryPos) }
 	}
 
+	// curStep tags journal events emitted from the recovery closures with
+	// the step being executed (-1 while still initializing).
+	curStep := -1
+
 	// recoverFrom handles one detected server death in fault-tolerant
 	// mode: drop the dead server, re-initialize the survivors with its
 	// pair rows redistributed (the pseudo-random distribution recomputed
@@ -170,6 +175,10 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 		res.Recoveries++
 		res.RecoverySeconds += end - start
 		pvm.ReportRecovery(t, start, end)
+		telemetry.Recoveries.Add(1)
+		telemetry.Emit("recovery", telemetry.F{
+			"step": curStep, "servers_left": conn.NumServers(), "seconds": end - start,
+		})
 		return nil
 	}
 	// healFrom handles one detected server death in self-healing mode:
@@ -203,6 +212,9 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 			res.ServerTIDs[se.Server] = newTID
 			res.Respawns++
 			healed = true
+			telemetry.Emit("respawn", telemetry.F{
+				"rank": se.Server, "old_tid": se.TID, "new_tid": newTID, "step": curStep,
+			})
 			err := func() error {
 				if _, err := conn.CallErr(se.Server, "init", initArgs(se.Server, nservers)); err != nil {
 					return err
@@ -251,6 +263,8 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 
 	ckpt := newCkptSched(opts)
 	for step := 0; step < steps; step++ {
+		curStep = step
+		stepT0 := t.Now()
 		// Administrative kills: the schedule declares these ranks dead
 		// before the step's phases; the supervisor heals each one.  The
 		// victim task idles until the shutdown handshake stops it.
@@ -260,6 +274,10 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 					continue
 				}
 				se := &sciddle.ServerError{Server: rank, TID: conn.Server(rank), Err: errAdminKill}
+				telemetry.FaultsInjected.With("admin_kill").Add(1)
+				telemetry.Emit("fault_injected", telemetry.F{
+					"kind": "admin_kill", "rank": rank, "tid": se.TID, "step": step,
+				})
 				if err := healFrom(se); err != nil {
 					return nil, err
 				}
@@ -270,6 +288,7 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 			// Update phase: ship coordinates, servers rebuild their
 			// lists; the reply carries no data beyond the completion
 			// signal (eq. 8 of the model).
+			updT0 := t.Now()
 			if ft {
 				if err := runPhase(func() error {
 					return client.UpdatePhaseIntoErr(packUpdate, updateReps[:conn.NumServers()])
@@ -279,6 +298,7 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 			} else {
 				client.UpdatePhaseInto(packUpdate, updateReps)
 			}
+			telemetry.MDUpdateSeconds.Observe(t.Now() - updT0)
 			for _, r := range updateReps[:conn.NumServers()] {
 				info.PairChecks += r.Checks
 			}
@@ -323,10 +343,16 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 			}
 		}
 		res.Steps = append(res.Steps, fin)
+		telemetry.MDSteps.Add(1)
+		telemetry.MDStepSeconds.Observe(t.Now() - stepT0)
 		if ckpt.due(step + 1) {
+			ckT0 := t.Now()
 			if err := opts.CheckpointSink(checkpointAt(sys, c.pos, c.vel, opts.StartStep+step+1)); err != nil {
 				return nil, fmt.Errorf("md: checkpoint sink: %w", err)
 			}
+			telemetry.MDCheckpoints.Add(1)
+			telemetry.MDCheckpointSecs.Observe(t.Now() - ckT0)
+			telemetry.Emit("checkpoint", telemetry.F{"step": opts.StartStep + step + 1})
 		}
 		if opts.AfterStep != nil {
 			opts.AfterStep(step, fin)

@@ -8,6 +8,7 @@ import (
 	"opalperf/internal/molecule"
 	"opalperf/internal/pairlist"
 	"opalperf/internal/pvm"
+	"opalperf/internal/telemetry"
 )
 
 // RunSerial executes the single-processor Opal 2.6: one task performs the
@@ -35,8 +36,10 @@ func RunSerial(t pvm.Task, sys *molecule.System, opts Options, steps int) (*Resu
 	grad := make([]float64, 3*sys.N)
 	ckpt := newCkptSched(opts)
 	for step := 0; step < steps; step++ {
+		stepT0 := t.Now()
 		info := StepInfo{}
 		if step%opts.UpdateEvery == 0 {
+			updT0 := t.Now()
 			var checks int
 			var ops hpm.Ops
 			if opts.CellList && sys.CutoffEffective(opts.Cutoff) {
@@ -46,6 +49,7 @@ func RunSerial(t pvm.Task, sys *molecule.System, opts Options, steps int) (*Resu
 			}
 			t.SetWorkingSet(list.Bytes() + d.bytes() + 8*3*sys.N*3)
 			t.Charge("update", ops)
+			telemetry.MDUpdateSeconds.Observe(t.Now() - updT0)
 			info.PairChecks = checks
 			info.Updated = true
 		}
@@ -64,10 +68,16 @@ func RunSerial(t pvm.Task, sys *molecule.System, opts Options, steps int) (*Resu
 			}
 		}
 		res.Steps = append(res.Steps, fin)
+		telemetry.MDSteps.Add(1)
+		telemetry.MDStepSeconds.Observe(t.Now() - stepT0)
 		if ckpt.due(step + 1) {
+			ckT0 := t.Now()
 			if err := opts.CheckpointSink(checkpointAt(sys, c.pos, c.vel, opts.StartStep+step+1)); err != nil {
 				return nil, fmt.Errorf("md: checkpoint sink: %w", err)
 			}
+			telemetry.MDCheckpoints.Add(1)
+			telemetry.MDCheckpointSecs.Observe(t.Now() - ckT0)
+			telemetry.Emit("checkpoint", telemetry.F{"step": opts.StartStep + step + 1})
 		}
 		if opts.Minimize && opts.GradTol > 0 && fin.GradMax < opts.GradTol {
 			res.Converged = true

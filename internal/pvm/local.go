@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"opalperf/internal/hpm"
+	"opalperf/internal/telemetry"
 )
 
 // LocalVM is a PVM session on the local fabric: tasks are real goroutines,
@@ -103,6 +104,8 @@ func (t *localTask) Send(dst, tag int, b *Buffer) {
 	if q == nil {
 		panic(fmt.Sprintf("pvm: send to unknown task %d", dst))
 	}
+	telemetry.PvmMsgsSent.Add(1)
+	telemetry.PvmBytesSent.Add(uint64(b.Bytes()))
 	q.mu.Lock()
 	q.mailbox = append(q.mailbox, localMsg{src: t.tid, tag: tag, buf: b})
 	q.cond.Broadcast()
@@ -161,6 +164,7 @@ type localBarrier struct {
 }
 
 func (t *localTask) Barrier(name string, parties int) {
+	telemetry.PvmBarriers.Add(1)
 	l := t.vm
 	l.mu.Lock()
 	b := l.barriers[name]

@@ -6,6 +6,7 @@ import (
 
 	"opalperf/internal/hpm"
 	"opalperf/internal/platform"
+	"opalperf/internal/telemetry"
 	"opalperf/internal/trace"
 	"opalperf/internal/vm"
 )
@@ -97,6 +98,8 @@ func (t *simTask) Send(dst, tag int, b *Buffer) {
 		b.shared = true
 	}
 	b.sent = true
+	telemetry.PvmMsgsSent.Add(1)
+	telemetry.PvmBytesSent.Add(uint64(b.Bytes()))
 	t.proc.Send(dst, tag, b, b.Bytes())
 }
 
@@ -105,6 +108,8 @@ func (t *simTask) Mcast(dsts []int, tag int, b *Buffer) {
 		b.shared = true
 	}
 	b.sent = true
+	telemetry.PvmMsgsSent.Add(uint64(len(dsts)))
+	telemetry.PvmBytesSent.Add(uint64(len(dsts) * b.Bytes()))
 	for _, d := range dsts {
 		t.proc.Send(d, tag, b, b.Bytes())
 	}
@@ -152,6 +157,7 @@ func (t *simTask) Probe(src, tag int) bool {
 }
 
 func (t *simTask) Barrier(name string, parties int) {
+	telemetry.PvmBarriers.Add(1)
 	t.proc.Barrier(name, parties)
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"opalperf/internal/hpm"
+	"opalperf/internal/telemetry"
 )
 
 // The network fabric: a PVM-style daemon routes messages between task
@@ -668,6 +669,8 @@ func (v *TCPVM) reconnect() {
 			continue
 		}
 		if v.resumeOn(conn) {
+			telemetry.PvmReconnects.Add(1)
+			telemetry.Emit("pvm_reconnect", telemetry.F{"session": v.id, "attempt": attempt + 1})
 			return
 		}
 		lastErr = fmt.Errorf("resume handshake failed")
@@ -734,6 +737,7 @@ func (v *TCPVM) heartbeatLoop() {
 		case <-v.stopc:
 			return
 		case <-tick.C:
+			telemetry.PvmHeartbeats.Add(1)
 			v.wmu.Lock()
 			seq := v.recvSeq
 			v.wmu.Unlock()
@@ -1005,6 +1009,8 @@ func (t *tcpTask) Send(dst, tag int, b *Buffer) {
 	if b == nil {
 		b = NewBuffer()
 	}
+	telemetry.PvmMsgsSent.Add(1)
+	telemetry.PvmBytesSent.Add(uint64(b.Bytes()))
 	// Local fast path.
 	t.vm.mu.Lock()
 	local := t.vm.tasks[dst]
@@ -1106,6 +1112,7 @@ func (t *tcpTask) Probe(src, tag int) bool {
 }
 
 func (t *tcpTask) Barrier(name string, parties int) {
+	telemetry.PvmBarriers.Add(1)
 	body := appendStr(nil, name)
 	body = appendU32(body, uint32(parties))
 	body = appendU32(body, uint32(t.vm.id))

@@ -76,3 +76,77 @@ func TestMetricsFromRealRun(t *testing.T) {
 		t.Errorf("imbalance = %v for balanced servers", m.LoadImbalance)
 	}
 }
+
+func TestMetricsEmptyWindow(t *testing.T) {
+	// A window with no recorded segments: well-defined zero shares, no NaN.
+	rec := trace.NewRecorder()
+	m := MetricsOf(rec, 0, []int{1, 2}, 0, 4)
+	if m.Wall != 4 {
+		t.Errorf("wall = %v", m.Wall)
+	}
+	if m.ClientComputeShare != 0 || m.ServerComputeShare != 0 ||
+		m.CommShare != 0 || m.SyncShare != 0 || m.LoadImbalance != 0 {
+		t.Errorf("empty-window metrics = %+v, want zero shares", m)
+	}
+	// The whole wall is unaccounted, hence idle.
+	if math.Abs(m.IdleShare-1) > 1e-12 {
+		t.Errorf("idle share = %v, want 1", m.IdleShare)
+	}
+}
+
+func TestMetricsNegativeWall(t *testing.T) {
+	// t1 < t0 (wall < 0) must not divide: all shares stay zero.
+	rec := trace.NewRecorder()
+	rec.Segment(0, "client", vm.SegCompute, 0, 1)
+	m := MetricsOf(rec, 0, []int{1}, 3, 1)
+	if m.Wall != -2 {
+		t.Errorf("wall = %v", m.Wall)
+	}
+	if m.ClientComputeShare != 0 || m.ServerComputeShare != 0 ||
+		m.CommShare != 0 || m.SyncShare != 0 || m.IdleShare != 0 || m.LoadImbalance != 0 {
+		t.Errorf("negative-wall metrics = %+v, want all-zero shares", m)
+	}
+	if math.IsNaN(m.IdleShare) || math.IsInf(m.ClientComputeShare, 0) {
+		t.Errorf("degenerate window produced NaN/Inf: %+v", m)
+	}
+}
+
+func TestMetricsNoServers(t *testing.T) {
+	// A serial run: no servers, so server share and imbalance are zero and
+	// the client's own activity still decomposes the wall.
+	rec := trace.NewRecorder()
+	rec.Segment(0, "client", vm.SegCompute, 0, 3)
+	rec.Segment(0, "client", vm.SegComm, 3, 4)
+	m := MetricsOf(rec, 0, nil, 0, 8)
+	if m.ServerComputeShare != 0 || m.LoadImbalance != 0 {
+		t.Errorf("serverless metrics = %+v, want zero server terms", m)
+	}
+	if math.Abs(m.ClientComputeShare-0.375) > 1e-12 {
+		t.Errorf("client share = %v", m.ClientComputeShare)
+	}
+	if math.Abs(m.CommShare-0.125) > 1e-12 {
+		t.Errorf("comm share = %v", m.CommShare)
+	}
+	if math.Abs(m.IdleShare-0.5) > 1e-12 {
+		t.Errorf("idle share = %v", m.IdleShare)
+	}
+}
+
+func TestMetricsStringGolden(t *testing.T) {
+	m := Metrics{
+		Wall:               2.5,
+		ClientComputeShare: 0.125,
+		ServerComputeShare: 0.5,
+		CommShare:          0.25,
+		SyncShare:          0.05,
+		IdleShare:          0.075,
+		LoadImbalance:      0.1,
+	}
+	want := "middleware metrics over 2.5s:\n" +
+		"  server computation  50.0%   client computation  12.5%\n" +
+		"  communication       25.0%   synchronization      5.0%\n" +
+		"  idle                 7.5%   load imbalance      10.0%\n"
+	if got := m.String(); got != want {
+		t.Errorf("String() =\n%q\nwant\n%q", got, want)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"opalperf/internal/pvm"
+	"opalperf/internal/telemetry"
 )
 
 // Protocol tags, allocated above the application range.
@@ -209,6 +210,13 @@ type MethodStats struct {
 	// including waiting (the t_return terms of eqs. 8-9 plus idle).
 	TCall   float64
 	TReturn float64
+
+	// Cached telemetry handles, resolved once per method at first call so
+	// the hot paths skip the vec lookups.  Nil-safe is not needed: stat()
+	// always fills them.
+	tLat                *telemetry.Histogram
+	tRetries, tTimeouts *telemetry.Counter
+	tBytesOut, tBytesIn *telemetry.Counter
 }
 
 // ServerError reports that one server stopped answering: its reply
@@ -247,6 +255,7 @@ type Conn struct {
 	// reset and repacked each phase, plus call-id and reply collections.
 	reqBufs []*pvm.Buffer
 	callIDs []int
+	callT0s []float64 // per-server issue times for the latency histogram
 	replies []*pvm.Buffer
 }
 
@@ -337,7 +346,14 @@ func (c *Conn) NumServers() int { return len(c.servers) }
 func (c *Conn) stat(method string) *MethodStats {
 	s := c.stats[method]
 	if s == nil {
-		s = &MethodStats{Method: method}
+		s = &MethodStats{
+			Method:    method,
+			tLat:      telemetry.RPCLatency.With(method),
+			tRetries:  telemetry.RPCRetries.With(method),
+			tTimeouts: telemetry.RPCTimeouts.With(method),
+			tBytesOut: telemetry.RPCBytesOut.With(method),
+			tBytesIn:  telemetry.RPCBytesIn.With(method),
+		}
 		c.stats[method] = s
 		c.statOrder = append(c.statOrder, method)
 	}
@@ -361,6 +377,7 @@ type Pending struct {
 	callID int
 	method string
 	req    *pvm.Buffer // retained for idempotent retry
+	t0     float64     // issue time, for the call-latency histogram
 	done   bool
 	reply  *pvm.Buffer
 }
@@ -384,7 +401,8 @@ func (c *Conn) CallAsync(i int, method string, args *pvm.Buffer) *Pending {
 	st.TCall += c.t.Now() - t0
 	st.Calls++
 	st.BytesOut += req.Bytes()
-	return &Pending{c: c, index: i, server: c.servers[i], callID: callID, method: method, req: req}
+	st.tBytesOut.Add(uint64(req.Bytes()))
+	return &Pending{c: c, index: i, server: c.servers[i], callID: callID, method: method, req: req, t0: t0}
 }
 
 // Wait blocks until the reply arrives and returns it.  Waiting twice
@@ -396,8 +414,11 @@ func (p *Pending) Wait() *pvm.Buffer {
 	st := p.c.stat(p.method)
 	t0 := p.c.t.Now()
 	b, _, _ := p.c.t.Recv(p.server, replyTag(p.callID))
-	st.TReturn += p.c.t.Now() - t0
+	now := p.c.t.Now()
+	st.TReturn += now - t0
 	st.BytesIn += b.Bytes()
+	st.tBytesIn.Add(uint64(b.Bytes()))
+	st.tLat.Observe(now - p.t0)
 	p.reply = b
 	p.done = true
 	return b
@@ -412,10 +433,12 @@ func (p *Pending) WaitErr() (*pvm.Buffer, error) {
 	if p.done {
 		return p.reply, nil
 	}
-	b, err := p.c.recvReply(p.index, p.server, p.callID, p.req, p.c.stat(p.method))
+	st := p.c.stat(p.method)
+	b, err := p.c.recvReply(p.index, p.server, p.callID, p.req, st)
 	if err != nil {
 		return nil, err
 	}
+	st.tLat.Observe(p.c.t.Now() - p.t0)
 	p.reply = b
 	p.done = true
 	return b, nil
@@ -430,15 +453,26 @@ func (c *Conn) recvReply(index, tid, callID int, req *pvm.Buffer, st *MethodStat
 		st.TReturn += c.t.Now() - t0
 		if err == nil {
 			st.BytesIn += b.Bytes()
+			st.tBytesIn.Add(uint64(b.Bytes()))
 			return b, nil
 		}
+		if errors.Is(err, pvm.ErrRecvTimeout) {
+			st.tTimeouts.Add(1)
+		}
 		if !errors.Is(err, pvm.ErrRecvTimeout) || attempt >= c.callRetries || req == nil {
+			telemetry.Emit("rpc_server_dead", telemetry.F{
+				"method": st.Method, "server": index, "tid": tid, "attempts": attempt + 1,
+			})
 			return nil, &ServerError{Server: index, TID: tid, Err: err}
 		}
 		t0 = c.t.Now()
 		c.t.Send(tid, tagRequest, req)
 		st.TCall += c.t.Now() - t0
 		st.Retries++
+		st.tRetries.Add(1)
+		telemetry.Emit("rpc_retry", telemetry.F{
+			"method": st.Method, "server": index, "tid": tid, "attempt": attempt + 1,
+		})
 	}
 }
 
@@ -499,9 +533,11 @@ func (c *Conn) CallPhasePacked(method string, pack func(i int, args *pvm.Buffer)
 	}
 	if cap(c.callIDs) < len(c.servers) {
 		c.callIDs = make([]int, len(c.servers))
+		c.callT0s = make([]float64, len(c.servers))
 		c.replies = make([]*pvm.Buffer, len(c.servers))
 	}
 	c.callIDs = c.callIDs[:len(c.servers)]
+	c.callT0s = c.callT0s[:len(c.servers)]
 	c.replies = c.replies[:len(c.servers)]
 	st := c.stat(method)
 	for i := range c.servers {
@@ -514,10 +550,12 @@ func (c *Conn) CallPhasePacked(method string, pack func(i int, args *pvm.Buffer)
 			pack(i, req)
 		}
 		t0 := c.t.Now()
+		c.callT0s[i] = t0
 		c.t.Send(c.servers[i], tagRequest, req)
 		st.TCall += c.t.Now() - t0
 		st.Calls++
 		st.BytesOut += req.Bytes()
+		st.tBytesOut.Add(uint64(req.Bytes()))
 	}
 	if c.accounting {
 		parties := len(c.servers) + 1
@@ -528,8 +566,11 @@ func (c *Conn) CallPhasePacked(method string, pack func(i int, args *pvm.Buffer)
 	for i := range c.servers {
 		t0 := c.t.Now()
 		b, _, _ := c.t.Recv(c.servers[i], replyTag(c.callIDs[i]))
-		st.TReturn += c.t.Now() - t0
+		now := c.t.Now()
+		st.TReturn += now - t0
 		st.BytesIn += b.Bytes()
+		st.tBytesIn.Add(uint64(b.Bytes()))
+		st.tLat.Observe(now - c.callT0s[i])
 		c.replies[i] = b
 	}
 	return c.replies
@@ -552,9 +593,11 @@ func (c *Conn) CallPhasePackedErr(method string, pack func(i int, args *pvm.Buff
 	}
 	if cap(c.callIDs) < len(c.servers) {
 		c.callIDs = make([]int, len(c.servers))
+		c.callT0s = make([]float64, len(c.servers))
 		c.replies = make([]*pvm.Buffer, len(c.servers))
 	}
 	c.callIDs = c.callIDs[:len(c.servers)]
+	c.callT0s = c.callT0s[:len(c.servers)]
 	c.replies = c.replies[:len(c.servers)]
 	st := c.stat(method)
 	for i := range c.servers {
@@ -567,16 +610,19 @@ func (c *Conn) CallPhasePackedErr(method string, pack func(i int, args *pvm.Buff
 			pack(i, req)
 		}
 		t0 := c.t.Now()
+		c.callT0s[i] = t0
 		c.t.Send(c.servers[i], tagRequest, req)
 		st.TCall += c.t.Now() - t0
 		st.Calls++
 		st.BytesOut += req.Bytes()
+		st.tBytesOut.Add(uint64(req.Bytes()))
 	}
 	for i := range c.servers {
 		b, err := c.recvReply(i, c.servers[i], c.callIDs[i], c.reqBufs[i], st)
 		if err != nil {
 			return nil, err
 		}
+		st.tLat.Observe(c.t.Now() - c.callT0s[i])
 		c.replies[i] = b
 	}
 	return c.replies, nil

@@ -22,7 +22,11 @@
 // supervisor, in md.Options.CheckpointEvery and harness.RunWithRestart.
 package supervise
 
-import "fmt"
+import (
+	"fmt"
+
+	"opalperf/internal/telemetry"
+)
 
 // State is the supervisor's position in the recovery ladder.
 type State int
@@ -84,7 +88,29 @@ func New(opts Options) *Supervisor {
 	if opts.Spawn == nil {
 		panic("supervise: Spawn is required")
 	}
-	return &Supervisor{opts: opts, perRank: make([]int, opts.Width)}
+	s := &Supervisor{opts: opts, perRank: make([]int, opts.Width)}
+	s.publishState()
+	return s
+}
+
+// setState performs a state transition and publishes it to the telemetry
+// plane: the gauge and /healthz reflect the new rung, the journal records
+// the transition, and entering Degraded trips the flight-recorder dump.
+func (s *Supervisor) setState(to State) {
+	if s.state == to {
+		return
+	}
+	from := s.state
+	s.state = to
+	s.publishState()
+	telemetry.Emit("supervisor_"+to.String(), telemetry.F{
+		"from": from.String(), "respawns": s.respawns, "deaths": len(s.lost),
+	})
+}
+
+func (s *Supervisor) publishState() {
+	telemetry.SupState.Set(int64(s.state))
+	telemetry.SetHealth(s.state.String(), s.state != Degraded)
 }
 
 // State returns the supervisor's current rung.
@@ -126,14 +152,16 @@ func (s *Supervisor) OnDeath(rank, tid int) (newTID int, ok bool) {
 		panic(fmt.Sprintf("supervise: rank %d out of range for width %d", rank, s.opts.Width))
 	}
 	if !s.CanRespawn() {
-		s.state = Degraded
+		s.setState(Degraded)
 		return 0, false
 	}
 	s.lost = append(s.lost, tid)
-	s.state = Healing
+	telemetry.SupDeaths.Add(1)
+	s.setState(Healing)
 	newTID = s.opts.Spawn(s.respawns)
 	s.respawns++
 	s.perRank[rank]++
+	telemetry.SupRespawns.Add(1)
 	return newTID, true
 }
 
@@ -141,6 +169,6 @@ func (s *Supervisor) OnDeath(rank, tid int) (newTID int, ok bool) {
 // re-initialized, the fleet is back at its configured width.
 func (s *Supervisor) Healed() {
 	if s.state == Healing {
-		s.state = Healthy
+		s.setState(Healthy)
 	}
 }

@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// The HTTP plane: /metrics in Prometheus text format, /healthz reflecting
+// the supervisor's state, and the standard pprof handlers — mounted on a
+// private mux so library users never pollute http.DefaultServeMux.
+
+// Handler returns the telemetry endpoints:
+//
+//	/metrics       Prometheus text exposition of the Default registry
+//	/healthz       JSON health: 200 while healthy/healing, 503 once degraded
+//	/debug/pprof/  net/http/pprof profiles
+func Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		Default.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		state, ok := Health()
+		w.Header().Set("Content-Type", "application/json")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintf(w, "{\"state\":%q,\"ok\":%v,\"run\":%q,\"respawns\":%d,\"deaths\":%d}\n",
+			state, ok, Run(), SupRespawns.Value(), SupDeaths.Value())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the telemetry endpoints on addr (e.g. "localhost:9100";
+// port 0 picks a free one) and returns the bound address and a stop
+// function.  The server runs until stop is called or the process exits.
+func Serve(addr string) (bound string, stop func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler()}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

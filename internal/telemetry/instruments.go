@@ -1,0 +1,44 @@
+package telemetry
+
+// The standard instruments of the telemetry plane, wired through the PVM
+// fabrics, the Sciddle RPC layer, the md engine, the fault plane and the
+// supervisor.  They live here as package variables so instrument sites
+// stay one-liners and every binary exposes the same metric names.
+
+// LatencyBuckets covers call and step latencies from 1 µs to ~67 s in
+// factor-4 steps — wide enough for both virtual (simulated platform) and
+// real (host) seconds.
+var LatencyBuckets = ExpBuckets(1e-6, 4, 13)
+
+var (
+	// PVM fabric traffic (all fabrics: simulated, local, TCP).
+	PvmMsgsSent  = Default.Counter("opal_pvm_messages_sent_total", "PVM messages sent.")
+	PvmBytesSent = Default.Counter("opal_pvm_bytes_sent_total", "PVM payload bytes sent.")
+	PvmBarriers  = Default.Counter("opal_pvm_barriers_total", "PVM barrier entries.")
+	// TCP transport hardening events.
+	PvmReconnects = Default.Counter("opal_pvm_reconnects_total", "TCP sessions resumed after a broken connection.")
+	PvmHeartbeats = Default.Counter("opal_pvm_heartbeats_total", "TCP heartbeats sent.")
+
+	// Sciddle RPC plane, split by method.
+	RPCLatency  = Default.HistogramVec("opal_sciddle_call_seconds", "Per-call latency from request send to reply receipt (virtual seconds on the simulated fabric).", "method", LatencyBuckets)
+	RPCRetries  = Default.CounterVec("opal_sciddle_retries_total", "Idempotent request resends after a reply deadline expired.", "method")
+	RPCTimeouts = Default.CounterVec("opal_sciddle_timeouts_total", "Reply deadline expiries; each one triggers a resend or, once retries are exhausted, a dead-server declaration.", "method")
+	RPCBytesOut = Default.CounterVec("opal_sciddle_bytes_out_total", "Request bytes sent.", "method")
+	RPCBytesIn  = Default.CounterVec("opal_sciddle_bytes_in_total", "Reply bytes received.", "method")
+
+	// md engine step machinery.
+	MDSteps          = Default.Counter("opal_md_steps_total", "Completed simulation steps.")
+	MDStepSeconds    = Default.Histogram("opal_md_step_seconds", "Per-step duration (virtual seconds on the simulated fabric).", LatencyBuckets)
+	MDUpdateSeconds  = Default.Histogram("opal_md_pairlist_update_seconds", "Pair-list update phase duration.", LatencyBuckets)
+	MDCheckpointSecs = Default.Histogram("opal_md_checkpoint_seconds", "Checkpoint capture+sink duration (host wall seconds).", LatencyBuckets)
+	MDCheckpoints    = Default.Counter("opal_md_checkpoints_total", "Periodic checkpoints written.")
+
+	// Supervisor / recovery ladder.
+	SupState    = Default.Gauge("opal_supervisor_state", "Supervisor rung: 0 healthy, 1 healing, 2 degraded.")
+	SupDeaths   = Default.Counter("opal_supervisor_deaths_total", "Server deaths reported to the supervisor.")
+	SupRespawns = Default.Counter("opal_supervisor_respawns_total", "Replacement servers spawned.")
+	Recoveries  = Default.Counter("opal_md_recoveries_total", "Graceful-degradation recoveries (fleet shrunk onto survivors).")
+
+	// Fault injection plane, split by kind.
+	FaultsInjected = Default.CounterVec("opal_faults_injected_total", "Faults injected, by kind.", "kind")
+)

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAppendEventDeterministic(t *testing.T) {
+	wall := time.Date(2026, 8, 6, 12, 0, 1, 500e6, time.UTC)
+	got := string(appendEvent(nil, wall, "r1", "respawn", F{
+		"step": 3, "rank": 1, "old_tid": 2, "new_tid": 7, "vt": 0.125,
+	}))
+	want := `{"wall":"2026-08-06T12:00:01.5Z","run":"r1","type":"respawn","new_tid":7,"old_tid":2,"rank":1,"step":3,"vt":0.125}` + "\n"
+	if got != want {
+		t.Fatalf("event rendering:\n got %s\nwant %s", got, want)
+	}
+	// And it is valid JSON.
+	var m map[string]any
+	if err := json.Unmarshal([]byte(got), &m); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if m["type"] != "respawn" || m["rank"] != 1.0 {
+		t.Fatalf("round-trip mismatch: %v", m)
+	}
+}
+
+func TestJournalWritesJSONL(t *testing.T) {
+	var sb strings.Builder
+	j := StartJournal(&sb, 8)
+	defer StopJournal()
+	j.Emit("fault_injected", F{"kind": "admin_kill", "rank": 0})
+	j.Emit("checkpoint", F{"step": 10})
+
+	lines := strings.Split(strings.TrimSuffix(sb.String(), "\n"), "\n")
+	if len(lines) != 3 { // journal_start + 2
+		t.Fatalf("want 3 JSONL lines, got %d:\n%s", len(lines), sb.String())
+	}
+	types := []string{}
+	for _, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("line %q: %v", l, err)
+		}
+		types = append(types, m["type"].(string))
+	}
+	if types[0] != "journal_start" || types[1] != "fault_injected" || types[2] != "checkpoint" {
+		t.Fatalf("unexpected event types %v", types)
+	}
+}
+
+func TestEmitWithoutJournalIsNoop(t *testing.T) {
+	StopJournal()
+	Emit("orphan", nil) // must not panic
+}
+
+func TestFlightKeepsLastN(t *testing.T) {
+	f := NewFlight(4)
+	for i := 0; i < 10; i++ {
+		f.add(fmt.Sprintf("e%d\n", i))
+	}
+	got := f.Events()
+	want := []string{"e6\n", "e7\n", "e8\n", "e9\n"}
+	if len(got) != len(want) {
+		t.Fatalf("flight kept %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flight[%d] = %q, want %q (oldest first)", i, got[i], want[i])
+		}
+	}
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", f.Len())
+	}
+}
+
+func TestFlightDumpOnDegraded(t *testing.T) {
+	var journal, dump strings.Builder
+	j := StartJournal(&journal, 16)
+	defer StopJournal()
+	j.SetDumpWriter(&dump)
+
+	j.Emit("respawn", F{"rank": 1})
+	if dump.Len() != 0 {
+		t.Fatalf("dump fired early:\n%s", dump.String())
+	}
+	j.Emit("supervisor_degraded", nil)
+	out := dump.String()
+	if !strings.Contains(out, "flight recorder dump") ||
+		!strings.Contains(out, `"type":"respawn"`) ||
+		!strings.Contains(out, `"type":"supervisor_degraded"`) {
+		t.Fatalf("degradation dump missing history:\n%s", out)
+	}
+}
+
+func TestDumpFlightHelper(t *testing.T) {
+	var sb strings.Builder
+	StartJournal(nil, 8) // flight-only journal: nil writer must be fine
+	defer StopJournal()
+	Emit("crash_context", F{"step": 5})
+	DumpFlight(&sb)
+	if !strings.Contains(sb.String(), `"type":"crash_context"`) {
+		t.Fatalf("DumpFlight missing event:\n%s", sb.String())
+	}
+}
+
+func TestNewRunID(t *testing.T) {
+	a, b := NewRunID(), NewRunID()
+	if a == b {
+		t.Fatalf("run IDs should be unique, got %q twice", a)
+	}
+	if len(a) < 15 {
+		t.Fatalf("run ID %q suspiciously short", a)
+	}
+}

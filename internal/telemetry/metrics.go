@@ -1,0 +1,378 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+)
+
+// The metrics registry: named counters, gauges and histograms with a
+// Prometheus text-format exposition.  All instruments are lock-free on
+// the write path and no-ops while the plane is disabled.
+
+// numShards stripes hot counters across cache lines so concurrent fabrics
+// (the TCP daemon's per-session goroutines) do not serialize on one word.
+const numShards = 8
+
+// paddedUint64 occupies a full cache line to prevent false sharing
+// between adjacent shards.
+type paddedUint64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// shardIdx spreads concurrent writers across shards.  Goroutine stacks
+// live in distinct memory regions, so hashing the address of a stack
+// variable separates goroutines without any runtime support; the exact
+// distribution is irrelevant, only that co-running goroutines rarely
+// collide.
+func shardIdx() int {
+	var marker byte
+	p := uintptr(unsafe.Pointer(&marker))
+	return int((p >> 10) % numShards)
+}
+
+type metric interface {
+	metricName() string
+	writeProm(w io.Writer)
+}
+
+// Registry holds named metrics and renders them in Prometheus text
+// format.  Instruments are registered once (typically as package
+// variables) and written concurrently with their updates.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	byName  map[string]metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]metric)}
+}
+
+// Default is the registry the standard instruments live in and the
+// /metrics endpoint serves.
+var Default = NewRegistry()
+
+func (r *Registry) register(m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.metricName()]; dup {
+		panic(fmt.Sprintf("telemetry: duplicate metric %q", m.metricName()))
+	}
+	r.byName[m.metricName()] = m
+	r.metrics = append(r.metrics, m)
+}
+
+// WritePrometheus renders every registered metric in Prometheus text
+// exposition format, sorted by name, plus an opal_run info metric naming
+// the current run (when one is set).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].metricName() < ms[j].metricName() })
+	if run := Run(); run != "" {
+		fmt.Fprintf(w, "# HELP opal_run The current run identifier.\n# TYPE opal_run gauge\nopal_run{id=%q} 1\n", run)
+	}
+	for _, m := range ms {
+		m.writeProm(w)
+	}
+}
+
+// Counter is a monotonically increasing counter, sharded across cache
+// lines for concurrent writers.
+type Counter struct {
+	name, help string
+	shards     [numShards]paddedUint64
+}
+
+// Counter registers a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: name, help: help}
+	r.register(c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.  A no-op while the plane is disabled.
+func (c *Counter) Add(n uint64) {
+	if !on.Load() {
+		return
+	}
+	c.shards[shardIdx()].v.Add(n)
+}
+
+// Value sums the shards.
+func (c *Counter) Value() uint64 {
+	var t uint64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}
+
+func (c *Counter) metricName() string { return c.name }
+
+func (c *Counter) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.Value())
+}
+
+// Gauge is a settable instantaneous value (e.g. the supervisor's state).
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Gauge registers a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Set stores v.  Unlike counters, gauges record state transitions that
+// the /healthz endpoint must see even before the plane is armed, so Set
+// is not gated.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) metricName() string { return g.name }
+
+func (g *Gauge) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.Value())
+}
+
+// Histogram is a fixed-bucket histogram: cumulative `le` buckets in the
+// Prometheus sense, with the bucket boundaries chosen at registration.
+// Observations are two atomic operations (bucket increment + sum update).
+type Histogram struct {
+	name, help string
+	labelKey   string // optional single label, e.g. method="nbint"
+	labelVal   string
+	bounds     []float64
+	counts     []paddedCount // len(bounds)+1; the last is +Inf
+	sumBits    atomic.Uint64
+}
+
+// paddedCount is a plain atomic counter; histograms are observed from one
+// client goroutine at a time, so striping is unnecessary.
+type paddedCount struct{ v atomic.Uint64 }
+
+func newHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram needs at least one bucket boundary")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %s boundaries not increasing", name))
+		}
+	}
+	return &Histogram{
+		name: name, help: help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]paddedCount, len(bounds)+1),
+	}
+}
+
+// Histogram registers a new histogram with the given bucket boundaries.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	h := newHistogram(name, help, bounds)
+	r.register(h)
+	return h
+}
+
+// Observe records one value.  A no-op while the plane is disabled.
+func (h *Histogram) Observe(v float64) {
+	if !on.Load() {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. the le bucket
+	h.counts[i].v.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var t uint64
+	for i := range h.counts {
+		t += h.counts[i].v.Load()
+	}
+	return t
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) metricName() string { return h.name }
+
+func (h *Histogram) label(le string) string {
+	if h.labelKey == "" {
+		return fmt.Sprintf("{le=%q}", le)
+	}
+	return fmt.Sprintf("{%s=%q,le=%q}", h.labelKey, h.labelVal, le)
+}
+
+func (h *Histogram) suffix() string {
+	if h.labelKey == "" {
+		return ""
+	}
+	return fmt.Sprintf("{%s=%q}", h.labelKey, h.labelVal)
+}
+
+// writeBody renders buckets/sum/count without the HELP/TYPE header so a
+// HistogramVec can share one header across children.
+func (h *Histogram) writeBody(w io.Writer) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].v.Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, h.label(formatFloat(b)), cum)
+	}
+	cum += h.counts[len(h.bounds)].v.Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", h.name, h.label("+Inf"), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", h.name, h.suffix(), formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", h.name, h.suffix(), cum)
+}
+
+func (h *Histogram) writeProm(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	h.writeBody(w)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// CounterVec is a family of counters split by one label (e.g. RPC method
+// or fault kind).  Children are created on first use and live forever —
+// label cardinality is expected to be small and static.
+type CounterVec struct {
+	name, help, label string
+	mu                sync.RWMutex
+	children          map[string]*Counter
+	order             []string
+}
+
+// CounterVec registers a new counter family.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{name: name, help: help, label: label, children: make(map[string]*Counter)}
+	r.register(v)
+	return v
+}
+
+// With returns the child counter for the given label value, creating it
+// on first use.  Callers on hot paths should cache the handle.
+func (v *CounterVec) With(val string) *Counter {
+	v.mu.RLock()
+	c := v.children[val]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.children[val]; c != nil {
+		return c
+	}
+	c = &Counter{name: v.name, help: v.help}
+	v.children[val] = c
+	v.order = append(v.order, val)
+	sort.Strings(v.order)
+	return c
+}
+
+func (v *CounterVec) metricName() string { return v.name }
+
+func (v *CounterVec) writeProm(w io.Writer) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", v.name, v.help, v.name)
+	for _, val := range v.order {
+		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, val, v.children[val].Value())
+	}
+}
+
+// HistogramVec is a family of histograms split by one label.
+type HistogramVec struct {
+	name, help, label string
+	bounds            []float64
+	mu                sync.RWMutex
+	children          map[string]*Histogram
+	order             []string
+}
+
+// HistogramVec registers a new histogram family with shared buckets.
+func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *HistogramVec {
+	v := &HistogramVec{
+		name: name, help: help, label: label,
+		bounds:   append([]float64(nil), bounds...),
+		children: make(map[string]*Histogram),
+	}
+	r.register(v)
+	return v
+}
+
+// With returns the child histogram for the given label value, creating it
+// on first use.  Callers on hot paths should cache the handle.
+func (v *HistogramVec) With(val string) *Histogram {
+	v.mu.RLock()
+	h := v.children[val]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.children[val]; h != nil {
+		return h
+	}
+	h = newHistogram(v.name, v.help, v.bounds)
+	h.labelKey, h.labelVal = v.label, val
+	v.children[val] = h
+	v.order = append(v.order, val)
+	sort.Strings(v.order)
+	return h
+}
+
+func (v *HistogramVec) metricName() string { return v.name }
+
+func (v *HistogramVec) writeProm(w io.Writer) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", v.name, v.help, v.name)
+	for _, val := range v.order {
+		v.children[val].writeBody(w)
+	}
+}
+
+// ExpBuckets returns n exponentially spaced boundaries start, start*factor,
+// start*factor^2, ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("telemetry: ExpBuckets needs start > 0, factor > 1, n > 0")
+	}
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}

@@ -1,0 +1,88 @@
+// Package telemetry is the live observability plane of the reproduction:
+// a zero-dependency metrics registry (sharded atomic counters, gauges and
+// fixed-bucket histograms with a Prometheus text exposition), a structured
+// JSONL run journal of lifecycle events with a bounded in-memory flight
+// recorder, and the HTTP endpoints that serve them.
+//
+// The paper's central methodological claim (Section 3) is that accurate
+// accounting must live *inside* the middleware — counters integrated into
+// Sciddle rather than external samplers.  The trace.Recorder breakdowns
+// reproduce the offline half of that claim; this package is the online
+// half: the same code-integrated instrumentation, readable while a run is
+// in flight, cheap enough to leave armed in production.
+//
+// Everything is gated on one package-level switch.  Disabled (the
+// default), every instrument call is a single atomic load and a predicted
+// branch — the no-op compilation the recovery plane's <2% overhead budget
+// requires (BenchmarkTelemetryOverhead guards it).  Telemetry never feeds
+// back into the simulation: virtual timelines and physics are bit-identical
+// with the plane on or off.
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+	"time"
+)
+
+// on is the package-level master switch.  All instruments no-op while it
+// is false.
+var on atomic.Bool
+
+// SetEnabled arms or disarms the telemetry plane.
+func SetEnabled(v bool) { on.Store(v) }
+
+// Enabled reports whether the telemetry plane is armed.
+func Enabled() bool { return on.Load() }
+
+// runID identifies the current run in journal lines and /metrics.
+var runID atomic.Pointer[string]
+
+// SetRun installs the run identifier threaded through journal events and
+// the opal_run info metric.
+func SetRun(id string) { runID.Store(&id) }
+
+// Run returns the current run identifier ("" when none is set).
+func Run() string {
+	if p := runID.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
+// NewRunID returns a fresh run identifier: the wall-clock second the run
+// started plus 4 random bytes, e.g. "20260806T120301-9f3a2c1d".
+func NewRunID() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// The clock alone still identifies the run well enough.
+		return time.Now().UTC().Format("20060102T150405")
+	}
+	return time.Now().UTC().Format("20060102T150405") + "-" + hex.EncodeToString(b[:])
+}
+
+// healthState is what /healthz reports: the supervisor's current rung and
+// whether it still counts as healthy.
+type healthState struct {
+	state string
+	ok    bool
+}
+
+var health atomic.Pointer[healthState]
+
+// SetHealth records the current health of the run; the supervisor calls it
+// on every state transition.  ok=false turns /healthz into a 503.
+func SetHealth(state string, ok bool) { health.Store(&healthState{state: state, ok: ok}) }
+
+// Health returns the current health state.  Before any supervisor reports,
+// the plane is "idle" and healthy.
+func Health() (state string, ok bool) {
+	if h := health.Load(); h != nil {
+		return h.state, h.ok
+	}
+	return "idle", true
+}
+
+// ResetHealth restores the initial "idle" health state (tests).
+func ResetHealth() { health.Store(nil) }

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"opalperf/internal/vm"
+)
+
+// Chrome trace-event / Perfetto export: the recorded per-process
+// timelines rendered as a JSON trace that chrome://tracing and
+// ui.perfetto.dev load directly, making the paper's Figure 1/2
+// execution-time breakdowns interactively inspectable — zoom into one
+// call phase and see the request transfers, the accounting barriers, the
+// server compute spans and the reply serialization laid out per process.
+
+// chromeEvent is one entry of the trace-event JSON format.  Durations use
+// the "X" (complete) phase; process/thread names use the "M" (metadata)
+// phase.  Timestamps are microseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports every recorded segment as a Chrome trace-event
+// JSON object ({"traceEvents": [...]}).  Virtual seconds map to trace
+// microseconds.  names labels process rows like RenderTimeline (missing
+// ids fall back to the segment's recorded process name); all processes
+// share one trace pid so they stack as threads of one process group.
+func WriteChromeTrace(w io.Writer, r *Recorder, names map[int]string) error {
+	segs := r.Segments()
+	bw := &errWriter{w: w}
+	io.WriteString(bw, `{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	emit := func(ev chromeEvent) {
+		if !first {
+			io.WriteString(bw, ",")
+		}
+		first = false
+		b, err := json.Marshal(ev)
+		if err != nil {
+			panic(fmt.Sprintf("trace: marshal chrome event: %v", err))
+		}
+		bw.Write(b)
+	}
+
+	// Metadata: name each process row once, in first-appearance order.
+	named := map[int]bool{}
+	for _, s := range segs {
+		if named[s.Proc] {
+			continue
+		}
+		named[s.Proc] = true
+		label := names[s.Proc]
+		if label == "" {
+			label = fmt.Sprintf("%s (proc %d)", s.Name, s.Proc)
+		}
+		emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: s.Proc,
+			Args: map[string]any{"name": label},
+		})
+	}
+	for _, s := range segs {
+		emit(chromeEvent{
+			Name: s.Kind.String(),
+			Cat:  s.Kind.String(),
+			Ph:   "X",
+			Ts:   s.Start * 1e6,
+			Dur:  (s.End - s.Start) * 1e6,
+			Pid:  0,
+			Tid:  s.Proc,
+		})
+	}
+	io.WriteString(bw, "]}\n")
+	return bw.err
+}
+
+// errWriter latches the first write error so the export loop stays
+// uncluttered.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, nil
+}
+
+// ChromeTraceKinds lists the category names the export uses, one per
+// segment kind — handy for Perfetto queries.
+func ChromeTraceKinds() []string {
+	out := make([]string, vm.NumSegKinds)
+	for k := 0; k < vm.NumSegKinds; k++ {
+		out[k] = vm.SegKind(k).String()
+	}
+	return out
+}

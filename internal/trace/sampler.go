@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"sort"
+
 	"opalperf/internal/vm"
 )
 
@@ -23,10 +25,10 @@ func SampleShares(r *Recorder, proc int, t0, t1, period float64) [vm.NumSegKinds
 	if period <= 0 || t1 <= t0 {
 		return counts
 	}
-	segs := r.Segments()
+	idx := buildProcIndex(r.Segments(), proc)
 	total := 0.0
 	for t := t0 + period/2; t < t1; t += period {
-		kind, ok := stateAt(segs, proc, t)
+		kind, ok := idx.stateAt(t)
 		if ok {
 			counts[kind]++
 		}
@@ -41,10 +43,45 @@ func SampleShares(r *Recorder, proc int, t0, t1, period float64) [vm.NumSegKinds
 	return counts
 }
 
-// stateAt finds the segment covering time t for the process.
-func stateAt(segs []Segment, proc int, t float64) (vm.SegKind, bool) {
-	for _, s := range segs {
-		if s.Proc == proc && s.Start <= t && t < s.End {
+// procIndex is one process's segments sorted by start time, with a prefix
+// maximum over end times so point queries can bound their backward scan.
+// Building it once turns the former O(segments × samples) probe loop into
+// O(segments·log segments + samples·log segments).
+type procIndex struct {
+	segs   []Segment // this process only, sorted by Start (stable)
+	maxEnd []float64 // maxEnd[i] = max(segs[0..i].End)
+}
+
+func buildProcIndex(all []Segment, proc int) procIndex {
+	var idx procIndex
+	for _, s := range all {
+		if s.Proc == proc {
+			idx.segs = append(idx.segs, s)
+		}
+	}
+	sort.SliceStable(idx.segs, func(i, j int) bool { return idx.segs[i].Start < idx.segs[j].Start })
+	idx.maxEnd = make([]float64, len(idx.segs))
+	for i, s := range idx.segs {
+		idx.maxEnd[i] = s.End
+		if i > 0 && idx.maxEnd[i-1] > s.End {
+			idx.maxEnd[i] = idx.maxEnd[i-1]
+		}
+	}
+	return idx
+}
+
+// stateAt finds a segment covering time t.  It binary-searches for the
+// last segment starting at or before t and walks backwards only while the
+// prefix maximum of end times proves a covering segment may still exist —
+// on the kernel's sequential (non-overlapping) per-process timelines that
+// walk inspects exactly one segment.  Where segments do overlap (e.g. a
+// ReportRecovery window layered over the spans recorded inside it), the
+// latest-starting covering segment wins.
+func (x procIndex) stateAt(t float64) (vm.SegKind, bool) {
+	// First segment with Start > t; candidates are everything before it.
+	i := sort.Search(len(x.segs), func(i int) bool { return x.segs[i].Start > t }) - 1
+	for ; i >= 0 && x.maxEnd[i] > t; i-- {
+		if s := x.segs[i]; s.Start <= t && t < s.End {
 			return s.Kind, true
 		}
 	}

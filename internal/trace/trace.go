@@ -49,6 +49,9 @@ func (r *Recorder) Segment(proc int, name string, kind vm.SegKind, start, end fl
 }
 
 // Segments returns a copy of all recorded segments in recording order.
+// The result is always non-nil: an empty recorder yields an empty,
+// non-nil slice, so callers can range, marshal and append without a nil
+// check.
 func (r *Recorder) Segments() []Segment {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -57,7 +60,10 @@ func (r *Recorder) Segments() []Segment {
 	return out
 }
 
-// Reset discards all recorded segments.
+// Reset discards all recorded segments while retaining the backing
+// array's capacity, so a recorder reused across measurement windows
+// (e.g. via md.Options.AfterInit) reaches a steady state where recording
+// allocates nothing.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.segs = r.segs[:0]

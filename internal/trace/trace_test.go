@@ -175,3 +175,43 @@ func TestRecorderWithKernel(t *testing.T) {
 		t.Errorf("idle = %v, want 0", b.Idle)
 	}
 }
+
+func TestSegmentsNonNilWhenEmpty(t *testing.T) {
+	r := NewRecorder()
+	if got := r.Segments(); got == nil || len(got) != 0 {
+		t.Fatalf("empty recorder Segments() = %#v, want non-nil empty slice", got)
+	}
+	r.Segment(0, "p", vm.SegCompute, 0, 1)
+	r.Reset()
+	if got := r.Segments(); got == nil || len(got) != 0 {
+		t.Fatalf("reset recorder Segments() = %#v, want non-nil empty slice", got)
+	}
+}
+
+func TestResetRetainsCapacity(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 1000; i++ {
+		r.Segment(0, "p", vm.SegCompute, float64(i), float64(i)+0.5)
+	}
+	before := cap(r.segs)
+	if before < 1000 {
+		t.Fatalf("capacity %d after 1000 segments", before)
+	}
+	r.Reset()
+	if len(r.segs) != 0 {
+		t.Fatalf("len %d after Reset", len(r.segs))
+	}
+	if cap(r.segs) != before {
+		t.Fatalf("Reset changed capacity %d -> %d", before, cap(r.segs))
+	}
+	// Refilling to the previous length must not grow the backing array.
+	allocs := testing.AllocsPerRun(1, func() {
+		r.Reset()
+		for i := 0; i < 1000; i++ {
+			r.Segment(0, "p", vm.SegCompute, float64(i), float64(i)+0.5)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("recording into reset recorder allocated %.0f times per run", allocs)
+	}
+}
