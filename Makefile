@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json check chaos cover fuzz figures clean telemetry-budget
+.PHONY: all build test race bench bench-json check chaos cover fuzz figures clean telemetry-budget perf-gate
 
 # Maximum steady-state CPU overhead (percent) of the telemetry plane,
 # enabled vs disabled, enforced by the telemetry-budget target.
@@ -51,6 +51,17 @@ telemetry-budget:
 			if (ov + 0 > budget + 0) { printf "telemetry-budget: overhead %s%% exceeds budget %s%%\n", ov, budget; exit 1 } \
 			printf "telemetry-budget: overhead %s%% within budget %s%%\n", ov, budget \
 		}'
+
+# The perf gate: rerun the hot-path benchmarks and diff against the
+# checked-in baseline snapshot with cmd/perfdiff.  Shared CI hosts are
+# noisy, so the default tolerance is generous (PERF_TOL, relative ns/op);
+# allocation counts are deterministic and compared exactly.
+PERF_BASELINE ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+PERF_TOL ?= 0.75
+perf-gate:
+	@test -n "$(PERF_BASELINE)" || { echo "perf-gate: no BENCH_*.json baseline found"; exit 1; }
+	$(GO) run ./cmd/benchjson -pkg . -bench . -count 3 -out /tmp/bench-now.json
+	$(GO) run ./cmd/perfdiff -tol $(PERF_TOL) $(PERF_BASELINE) /tmp/bench-now.json
 
 cover:
 	$(GO) test ./internal/... -cover

@@ -11,6 +11,8 @@
 //	opal -size small -fault-rate 0.02 -fault-seed 7   # seeded chaos run
 //	opal -size small -journal run.jsonl -trace-json run.trace.json
 //	opal -size medium -steps 50 -http 127.0.0.1:9090  # live /metrics, /healthz, pprof
+//	opal -size medium -steps 20 -oracle -modelz       # model-in-the-loop check
+//	opal -size small -supervise -kill-server 3:1 -oracle   # oracle flags the fault
 package main
 
 import (
@@ -19,10 +21,12 @@ import (
 	"os"
 	"strings"
 
+	"opalperf/internal/core"
 	"opalperf/internal/fault"
 	"opalperf/internal/harness"
 	"opalperf/internal/md"
 	"opalperf/internal/molecule"
+	"opalperf/internal/oracle"
 	"opalperf/internal/pairlist"
 	"opalperf/internal/platform"
 	"opalperf/internal/report"
@@ -58,8 +62,12 @@ func main() {
 		killSrv    = flag.String("kill-server", "", "administrative kill schedule 'step:rank[,step:rank...]' (requires -supervise)")
 		journal    = flag.String("journal", "", "append a JSONL run journal of lifecycle events to this file")
 		traceJSON  = flag.String("trace-json", "", "write the run's timelines as Chrome trace-event JSON (load in chrome://tracing or ui.perfetto.dev)")
-		httpAddr   = flag.String("http", "", "serve /metrics (Prometheus), /healthz and /debug/pprof on this address while running")
+		httpAddr   = flag.String("http", "", "serve /metrics (Prometheus), /healthz and /debug/pprof on this address while running; with -oracle also /modelz")
 		flightN    = flag.Int("flight", 256, "flight-recorder depth: last N journal events dumped to stderr on degradation or crash")
+		jMaxBytes  = flag.Int64("journal-max-bytes", 0, "cap the JSONL journal file at this many bytes; events past the cap are dropped and counted (0 = unbounded)")
+		oracleOn   = flag.Bool("oracle", false, "arm the model-in-the-loop oracle: check each step window against the platform's analytic model, emit oracle_anomaly events and degrade /healthz on residual blowup")
+		oracleWin  = flag.Int("oracle-window", 5, "oracle evaluation window in steps (a multiple of -update keeps windows uniform)")
+		modelz     = flag.Bool("modelz", false, "print the oracle's end-of-run predicted-vs-measured report (requires -oracle); the live /modelz endpoint is served under -http")
 	)
 	flag.Parse()
 
@@ -78,6 +86,9 @@ func main() {
 	}
 	j := telemetry.StartJournal(journalOut, *flightN)
 	j.SetDumpWriter(os.Stderr)
+	if *jMaxBytes > 0 {
+		j.SetMaxBytes(*jMaxBytes)
+	}
 	defer telemetry.StopJournal()
 	defer func() {
 		// A panicking run dumps the flight recorder before dying: the last
@@ -208,6 +219,26 @@ func main() {
 		cfg := fault.Uniform(*faultSeed, *faultRate)
 		spec.Faults = &cfg
 	}
+	var orc *oracle.Oracle
+	if *oracleOn {
+		if *servers <= 0 {
+			fatal(fmt.Errorf("-oracle needs parallel servers (-servers > 0): the model predicts the client/server decomposition"))
+		}
+		orc = oracle.New(oracle.Config{
+			Machine:          core.MachineFor(pl, sys.Gamma()),
+			Sys:              sys,
+			Cutoff:           *cutoff,
+			UpdateEvery:      *update,
+			Servers:          *servers,
+			Window:           *oracleWin,
+			RecalibrateEvery: 4,
+			DegradeHealth:    true,
+		})
+		spec.Oracle = orc
+		telemetry.Handle("/modelz", orc.Handler())
+	} else if *modelz {
+		fatal(fmt.Errorf("-modelz requires -oracle"))
+	}
 	fmt.Printf("Opal on %s — %s (%d mass centers, gamma %.3f), %d servers, %d steps\n",
 		pl.Name, sys.Name, sys.N, sys.Gamma(), *servers, *steps)
 	fmt.Printf("cut-off %.0f A (%seffective), update every %d step(s), %s distribution\n\n",
@@ -251,6 +282,27 @@ func main() {
 	if *heal {
 		fmt.Printf("self-healing: %d respawn(s) (%.3f s), %d degraded recover(ies)\n",
 			out.Result.Respawns, out.Result.RespawnSeconds, out.Result.Recoveries)
+	}
+	if orc != nil {
+		snap := orc.Snapshot()
+		fmt.Printf("model oracle: %d window(s) of %d step(s) checked against %s, %d anomaly(ies)\n",
+			snap.Windows, snap.Window, snap.Machine.Name, snap.Anomalies)
+		if *modelz && snap.Last != nil {
+			tbl := &report.Table{
+				Title:   fmt.Sprintf("oracle: last window (steps %d-%d)", snap.Last.StartStep, snap.Last.EndStep),
+				Headers: []string{"term", "predicted [s]", "measured [s]", "residual [s]", "z"},
+			}
+			for _, tr := range snap.Last.Terms {
+				tbl.AddRowf(6, tr.Term, tr.Predicted, tr.Measured, tr.Residual, tr.Z)
+			}
+			fmt.Println()
+			fmt.Println(tbl)
+			if snap.Refit != nil {
+				fmt.Printf("refit machine parameters: a1 %.4g  b1 %.4g  a2 %.4g  a3 %.4g  a4 %.4g  b5 %.4g (MAPE %.1f%%, R2 %.3f)\n",
+					snap.Refit.A1, snap.Refit.B1, snap.Refit.A2, snap.Refit.A3, snap.Refit.A4, snap.Refit.B5,
+					snap.RefitMAPE, snap.RefitR2)
+			}
+		}
 	}
 
 	if *metrics && *servers > 0 {

@@ -1,0 +1,279 @@
+// Command perfdiff compares two performance records and exits nonzero on
+// regression — the repository's perf gate.  It understands two formats:
+//
+//   - BENCH_*.json snapshots written by cmd/benchjson: per-benchmark
+//     ns/op is compared under a relative tolerance (default 30%, chosen
+//     for shared CI hosts) and allocs/op near-exactly — steady-state
+//     counts are deterministic, so the only relief is a small absolute
+//     slack (-alloc-slack, default 2) for one-time allocations
+//     amortized over a run-dependent iteration count.
+//   - Run journals (-journal): the run_end event's wall time of two JSONL
+//     journals is compared under the same relative tolerance.
+//
+// Examples:
+//
+//	perfdiff BENCH_2026-08-06.json bench-now.json
+//	perfdiff -tol 0.5 -tol-for 'SimKernelMessaging=0.2' base.json new.json
+//	perfdiff -journal base.jsonl new.jsonl
+//
+// Exit status: 0 when no benchmark regressed, 1 on regression, 2 on usage
+// or input errors.  Improvements and new/missing benchmarks are reported
+// but never fail the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result and Snapshot mirror cmd/benchjson's written format.
+type Result struct {
+	Name     string             `json:"name"`
+	Iters    int64              `json:"iters"`
+	NsPerOp  float64            `json:"ns_per_op"`
+	BPerOp   int64              `json:"b_per_op,omitempty"`
+	AllocsOp int64              `json:"allocs_per_op,omitempty"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
+}
+
+type Snapshot struct {
+	Date    string   `json:"date"`
+	GoOS    string   `json:"goos,omitempty"`
+	GoArch  string   `json:"goarch,omitempty"`
+	Package string   `json:"package,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// Options configure one diff.
+type Options struct {
+	// Tol is the relative ns/op (or wall-time) tolerance: the current
+	// value may exceed the base by up to base*Tol before it counts as a
+	// regression.
+	Tol float64
+	// AllocTol is the relative allocs/op tolerance (default 0: any growth
+	// in allocation count is a regression — counts are deterministic).
+	AllocTol float64
+	// AllocSlack is an absolute allocs/op allowance on top of AllocTol.
+	// Steady-state allocation counts are deterministic, but one-time
+	// allocations (map growth, pool warm-up) amortized over a
+	// run-dependent b.N leave ±1–2 allocs/op of jitter that a relative
+	// tolerance cannot express for small counts.
+	AllocSlack int64
+	// PerBench overrides Tol for individual benchmarks by name (without
+	// the Benchmark prefix or with it; both are accepted).
+	PerBench map[string]float64
+}
+
+func (o Options) tolFor(name string) float64 {
+	if t, ok := o.PerBench[name]; ok {
+		return t
+	}
+	if t, ok := o.PerBench[strings.TrimPrefix(name, "Benchmark")]; ok {
+		return t
+	}
+	return o.Tol
+}
+
+// Diff compares two snapshots and returns the regressions (each fails the
+// gate) and informational notes (improvements, added/removed benchmarks).
+func Diff(base, cur Snapshot, opt Options) (regressions, notes []string) {
+	curBy := map[string]Result{}
+	for _, r := range cur.Results {
+		curBy[r.Name] = r
+	}
+	seen := map[string]bool{}
+	for _, b := range base.Results {
+		seen[b.Name] = true
+		c, ok := curBy[b.Name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("%s: missing from current run", b.Name))
+			continue
+		}
+		tol := opt.tolFor(b.Name)
+		if b.NsPerOp > 0 {
+			rel := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+			switch {
+			case rel > tol:
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.0f ns/op -> %.0f ns/op (%+.1f%%, tolerance %.0f%%)",
+					b.Name, b.NsPerOp, c.NsPerOp, 100*rel, 100*tol))
+			case rel < -tol:
+				notes = append(notes, fmt.Sprintf(
+					"%s: improved %.0f ns/op -> %.0f ns/op (%+.1f%%)",
+					b.Name, b.NsPerOp, c.NsPerOp, 100*rel))
+			}
+		}
+		if b.AllocsOp > 0 || c.AllocsOp > 0 {
+			limit := float64(b.AllocsOp)*(1+opt.AllocTol) + float64(opt.AllocSlack)
+			if float64(c.AllocsOp) > limit {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %d allocs/op -> %d allocs/op (tolerance %.0f%% + %d)",
+					b.Name, b.AllocsOp, c.AllocsOp, 100*opt.AllocTol, opt.AllocSlack))
+			} else if c.AllocsOp < b.AllocsOp {
+				notes = append(notes, fmt.Sprintf(
+					"%s: improved %d allocs/op -> %d allocs/op",
+					b.Name, b.AllocsOp, c.AllocsOp))
+			}
+		}
+	}
+	var added []string
+	for name := range curBy {
+		if !seen[name] {
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		notes = append(notes, fmt.Sprintf("%s: new benchmark (no baseline)", name))
+	}
+	return regressions, notes
+}
+
+// journalWall extracts the run_end wall time from a JSONL run journal.
+// With several run_end events (restart-stitched journals) the last one
+// wins.
+func journalWall(path string) (float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	var wall float64
+	found := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		// run_end events carry the run's virtual wall time in a "wall"
+		// number field; every event also has a top-level "wall" timestamp
+		// string, so decode generically and type-switch on the value.
+		var raw map[string]any
+		if err := json.Unmarshal(line, &raw); err != nil {
+			continue
+		}
+		if raw["type"] != "run_end" {
+			continue
+		}
+		if v, ok := raw["wall"].(float64); ok {
+			wall = v
+			found = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, fmt.Errorf("%s: no run_end event with a wall time", path)
+	}
+	return wall, nil
+}
+
+func readSnapshot(path string) (Snapshot, error) {
+	var s Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// parsePerBench parses "Name=0.5,Other=0.1" tolerance overrides.
+func parsePerBench(s string) (map[string]float64, error) {
+	out := map[string]float64{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad tolerance override %q (want Name=0.5)", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad tolerance override %q: %v", part, err)
+		}
+		out[name] = f
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		tol        = flag.Float64("tol", 0.30, "relative ns/op tolerance before a slowdown is a regression")
+		allocTol   = flag.Float64("alloc-tol", 0, "relative allocs/op tolerance (0: any growth regresses)")
+		allocSlack = flag.Int64("alloc-slack", 2, "absolute allocs/op allowance on top of -alloc-tol (amortized one-time allocations jitter by a count or two)")
+		tolFor     = flag.String("tol-for", "", "per-benchmark overrides, e.g. 'SimKernelMessaging=0.2,Fig1Breakdown=0.5'")
+		journal    = flag.Bool("journal", false, "inputs are JSONL run journals; compare run_end wall times")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: perfdiff [flags] BASE CURRENT\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	basePath, curPath := flag.Arg(0), flag.Arg(1)
+
+	if *journal {
+		bw, err := journalWall(basePath)
+		if err != nil {
+			fatal(err)
+		}
+		cw, err := journalWall(curPath)
+		if err != nil {
+			fatal(err)
+		}
+		rel := (cw - bw) / bw
+		fmt.Printf("perfdiff: run wall %.6fs -> %.6fs (%+.1f%%, tolerance %.0f%%)\n", bw, cw, 100*rel, 100**tol)
+		if rel > *tol {
+			fmt.Println("perfdiff: REGRESSION")
+			os.Exit(1)
+		}
+		fmt.Println("perfdiff: ok")
+		return
+	}
+
+	perBench, err := parsePerBench(*tolFor)
+	if err != nil {
+		fatal(err)
+	}
+	base, err := readSnapshot(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := readSnapshot(curPath)
+	if err != nil {
+		fatal(err)
+	}
+	regressions, notes := Diff(base, cur, Options{Tol: *tol, AllocTol: *allocTol, AllocSlack: *allocSlack, PerBench: perBench})
+	for _, n := range notes {
+		fmt.Println("perfdiff: note:", n)
+	}
+	for _, r := range regressions {
+		fmt.Println("perfdiff: REGRESSION:", r)
+	}
+	if len(regressions) > 0 {
+		fmt.Printf("perfdiff: %d regression(s) against %s\n", len(regressions), basePath)
+		os.Exit(1)
+	}
+	fmt.Printf("perfdiff: ok (%d benchmarks within tolerance of %s)\n", len(base.Results), basePath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfdiff:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,149 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snap(results ...Result) Snapshot {
+	return Snapshot{Date: "2026-08-06", Results: results}
+}
+
+func TestDiffWithinTolerancePasses(t *testing.T) {
+	base := snap(Result{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 10})
+	cur := snap(Result{Name: "BenchmarkA", NsPerOp: 1200, AllocsOp: 10})
+	regs, _ := Diff(base, cur, Options{Tol: 0.30})
+	if len(regs) != 0 {
+		t.Fatalf("20%% slowdown under 30%% tolerance regressed: %v", regs)
+	}
+}
+
+func TestDiffNsRegression(t *testing.T) {
+	base := snap(Result{Name: "BenchmarkA", NsPerOp: 1000})
+	cur := snap(Result{Name: "BenchmarkA", NsPerOp: 1400})
+	regs, _ := Diff(base, cur, Options{Tol: 0.30})
+	if len(regs) != 1 || !strings.Contains(regs[0], "BenchmarkA") {
+		t.Fatalf("40%% slowdown not flagged: %v", regs)
+	}
+}
+
+func TestDiffAllocRegressionIsExactByDefault(t *testing.T) {
+	base := snap(Result{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 38})
+	cur := snap(Result{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 39})
+	regs, _ := Diff(base, cur, Options{Tol: 0.30})
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("alloc growth not flagged: %v", regs)
+	}
+	regs, _ = Diff(base, cur, Options{Tol: 0.30, AllocTol: 0.10})
+	if len(regs) != 0 {
+		t.Fatalf("one extra alloc under 10%% tolerance regressed: %v", regs)
+	}
+}
+
+// The absolute slack absorbs the ±1–2 allocs/op jitter of amortized
+// one-time allocations without opening a relative hole: +2 passes, +3
+// regresses, and the slack stacks on top of a relative tolerance.
+func TestDiffAllocSlack(t *testing.T) {
+	base := snap(Result{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 10})
+	within := snap(Result{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 12})
+	beyond := snap(Result{Name: "BenchmarkA", NsPerOp: 1000, AllocsOp: 13})
+	regs, _ := Diff(base, within, Options{Tol: 0.30, AllocSlack: 2})
+	if len(regs) != 0 {
+		t.Fatalf("+2 allocs under slack 2 regressed: %v", regs)
+	}
+	regs, _ = Diff(base, beyond, Options{Tol: 0.30, AllocSlack: 2})
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("+3 allocs under slack 2 not flagged: %v", regs)
+	}
+	regs, _ = Diff(base, beyond, Options{Tol: 0.30, AllocTol: 0.10, AllocSlack: 2})
+	if len(regs) != 0 {
+		t.Fatalf("slack did not stack on the relative tolerance: %v", regs)
+	}
+}
+
+func TestDiffPerBenchOverride(t *testing.T) {
+	base := snap(Result{Name: "BenchmarkNoisy", NsPerOp: 1000})
+	cur := snap(Result{Name: "BenchmarkNoisy", NsPerOp: 1400})
+	regs, _ := Diff(base, cur, Options{Tol: 0.30, PerBench: map[string]float64{"Noisy": 0.50}})
+	if len(regs) != 0 {
+		t.Fatalf("override (without Benchmark prefix) ignored: %v", regs)
+	}
+	regs, _ = Diff(base, cur, Options{Tol: 0.30, PerBench: map[string]float64{"BenchmarkNoisy": 0.50}})
+	if len(regs) != 0 {
+		t.Fatalf("override (with Benchmark prefix) ignored: %v", regs)
+	}
+}
+
+func TestDiffMissingAndNewAreNotes(t *testing.T) {
+	base := snap(Result{Name: "BenchmarkGone", NsPerOp: 1000})
+	cur := snap(Result{Name: "BenchmarkNew", NsPerOp: 1000})
+	regs, notes := Diff(base, cur, Options{Tol: 0.30})
+	if len(regs) != 0 {
+		t.Fatalf("membership changes must not fail the gate: %v", regs)
+	}
+	if len(notes) != 2 {
+		t.Fatalf("want notes for the missing and the new benchmark, got %v", notes)
+	}
+}
+
+func TestDiffFixtures(t *testing.T) {
+	base, err := readSnapshot(filepath.Join("testdata", "base.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline vs itself: clean.
+	regs, _ := Diff(base, base, Options{Tol: 0.30})
+	if len(regs) != 0 {
+		t.Fatalf("self-diff regressed: %v", regs)
+	}
+	// The injected regression fixture doubles SimKernelMessaging ns/op and
+	// grows Fig1Breakdown allocs: both must be flagged.
+	bad, err := readSnapshot(filepath.Join("testdata", "regressed.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, _ = Diff(base, bad, Options{Tol: 0.30})
+	if len(regs) != 2 {
+		t.Fatalf("want the ns/op and the allocs/op regression, got %v", regs)
+	}
+}
+
+func TestJournalWall(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := write("base.jsonl",
+		`{"wall":"2026-08-06T00:00:00Z","type":"run_start"}
+{"wall":"2026-08-06T00:00:01Z","type":"run_end","steps":8,"wall":12.5}
+`)
+	w, err := journalWall(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 12.5 {
+		t.Fatalf("wall = %v, want 12.5", w)
+	}
+	if _, err := journalWall(write("empty.jsonl", `{"wall":"2026-08-06T00:00:00Z","type":"run_start"}`)); err == nil {
+		t.Fatal("journal without run_end must error")
+	}
+}
+
+func TestParsePerBench(t *testing.T) {
+	m, err := parsePerBench("A=0.5, B=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["A"] != 0.5 || m["B"] != 0.1 {
+		t.Fatalf("parsed %v", m)
+	}
+	if _, err := parsePerBench("garbage"); err == nil {
+		t.Fatal("malformed override must error")
+	}
+}

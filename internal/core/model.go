@@ -141,6 +141,13 @@ type Breakdown struct {
 // Total returns the summed execution time.
 func (b Breakdown) Total() float64 { return b.Par + b.Seq + b.Comm + b.Sync }
 
+// TermNames lists the model's terms in the paper's chart order; the
+// indices match Terms.
+func TermNames() []string { return []string{"par", "seq", "comm", "sync"} }
+
+// Terms returns the breakdown's values in TermNames order.
+func (b Breakdown) Terms() []float64 { return []float64{b.Par, b.Seq, b.Comm, b.Sync} }
+
 // Predict evaluates the full model.
 func (m Machine) Predict(app App) Breakdown {
 	return Breakdown{
@@ -149,6 +156,19 @@ func (m Machine) Predict(app App) Breakdown {
 		Comm: m.CommTime(app),
 		Sync: m.SyncTime(app),
 	}
+}
+
+// PredictCounts evaluates the model with the engine's exact distance-check
+// and active-pair counts (summed over the window and all servers)
+// substituted for the closed-form regressors of eqs. 3-4:
+// Par = (a2*checks + a3*active)/p.  The remaining terms use the closed
+// forms.  This is the per-window predictor of the model oracle, where the
+// update schedule within a short window is uneven and the closed-form
+// s*u approximation would alias it.
+func (m Machine) PredictCounts(app App, checks, active float64) Breakdown {
+	b := m.Predict(app)
+	b.Par = (m.A2*checks + m.A3*active) / float64(app.P)
+	return b
 }
 
 // Total is shorthand for Predict(app).Total().

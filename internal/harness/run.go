@@ -12,6 +12,7 @@ import (
 	"opalperf/internal/fault"
 	"opalperf/internal/md"
 	"opalperf/internal/molecule"
+	"opalperf/internal/oracle"
 	"opalperf/internal/platform"
 	"opalperf/internal/pvm"
 	"opalperf/internal/telemetry"
@@ -29,6 +30,10 @@ type RunSpec struct {
 	// kernel.  A fresh plan is created per run, so re-running the same spec
 	// replays the identical fault schedule.
 	Faults *fault.Config
+	// Oracle, when non-nil, arms the model-in-the-loop checker: it is
+	// attached to the run's recorder and fed from the step loop.  Pure
+	// observation — the run's physics and virtual timings are untouched.
+	Oracle *oracle.Oracle
 }
 
 // RunOutcome is the measured outcome of a run.
@@ -65,6 +70,25 @@ func Run(spec RunSpec) (RunOutcome, error) {
 	var runErr error
 	opts := spec.Opts
 	sim.SpawnRoot("opal-client", func(t pvm.Task) {
+		if spec.Oracle != nil {
+			// The hooks run on the client goroutine while it holds the
+			// execution token, so t.Now() is exact and race-free.
+			o := spec.Oracle
+			o.Attach(rec, 0, spec.Servers)
+			prevInit, prevStep := opts.AfterInit, opts.AfterStep
+			opts.AfterInit = func() {
+				if prevInit != nil {
+					prevInit()
+				}
+				o.Start(t.Now())
+			}
+			opts.AfterStep = func(step int, info md.StepInfo) {
+				if prevStep != nil {
+					prevStep(step, info)
+				}
+				o.StepDone(step, t.Now(), info.PairChecks, info.ActivePairs)
+			}
+		}
 		if spec.Servers <= 0 {
 			res, runErr = md.RunSerial(t, spec.Sys, opts, spec.Steps)
 			return
@@ -80,6 +104,9 @@ func Run(spec RunSpec) (RunOutcome, error) {
 		return RunOutcome{}, runErr
 	}
 	out := RunOutcome{Result: res, Wall: res.StepSeconds, Recorder: rec}
+	if spec.Oracle != nil {
+		spec.Oracle.Finish(res.EndSeconds)
+	}
 	telemetry.Emit("run_end", telemetry.F{
 		"wall": out.Wall, "steps": len(res.Steps),
 		"respawns": res.Respawns, "recoveries": res.Recoveries,

@@ -1,0 +1,201 @@
+package oracle
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"opalperf/internal/core"
+	"opalperf/internal/molecule"
+	"opalperf/internal/telemetry"
+	"opalperf/internal/trace"
+	"opalperf/internal/vm"
+)
+
+// testSystem is a tiny generated complex — the oracle only needs its atom
+// counts for core.AppFor.
+func testSystem() *molecule.System {
+	return molecule.Generate(molecule.Config{
+		Name: "oracle-test", SoluteAtoms: 16, Waters: 16, Seed: 1, Interleave: true,
+	})
+}
+
+// synthetic drives an oracle with hand-built windows: each step occupies
+// one virtual second with fixed client seq/comm/sync segments and two
+// server compute spans, so the measured breakdown of every window is
+// known exactly.  comm sets the client's transfer time for the step.
+type synthetic struct {
+	rec  *trace.Recorder
+	o    *Oracle
+	step int
+	now  float64
+}
+
+func newSynthetic(cfg Config) *synthetic {
+	cfg.Sys = testSystem()
+	cfg.Servers = 2
+	if cfg.Machine.A1 == 0 {
+		// CommTime divides by the communication rate, so "a machine that
+		// predicts ~nothing" needs a1 huge, not zero.
+		cfg.Machine.A1 = 1e12
+	}
+	s := &synthetic{rec: trace.NewRecorder(), o: New(cfg)}
+	s.o.Attach(s.rec, 0, 2)
+	s.o.Start(0)
+	return s
+}
+
+func (s *synthetic) doStep(comm float64) {
+	t := s.now
+	s.rec.Segment(0, "client", vm.SegCompute, t, t+0.3)
+	s.rec.Segment(0, "client", vm.SegComm, t+0.3, t+0.3+comm)
+	s.rec.Segment(0, "client", vm.SegSync, t+0.3+comm, t+0.35+comm)
+	s.rec.Segment(1, "srv", vm.SegCompute, t+0.35, t+0.75)
+	s.rec.Segment(2, "srv", vm.SegCompute, t+0.35, t+0.75)
+	s.now = t + 1
+	s.o.StepDone(s.step, s.now, 10, 5)
+	s.step++
+}
+
+// A zero machine predicts zero for every term, so the constant measured
+// breakdown is pure bias: absorbed by the first EWMA observation, never
+// anomalous — until one window's communication actually changes.
+func TestOracleFlagsCommSpike(t *testing.T) {
+	telemetry.ResetHealth()
+	t.Cleanup(telemetry.ResetHealth)
+	s := newSynthetic(Config{Window: 1, DegradeHealth: true})
+
+	for i := 0; i < 5; i++ {
+		s.doStep(0.1)
+	}
+	if got := s.o.Anomalies(); got != 0 {
+		t.Fatalf("constant bias raised %d anomalies, want 0", got)
+	}
+	if _, ok := telemetry.Health(); !ok {
+		t.Fatal("health degraded without an anomaly")
+	}
+
+	s.doStep(0.6) // the spike: comm jumps 6x in window 5
+	if got := s.o.Anomalies(); got != 1 {
+		t.Fatalf("comm spike raised %d anomalies, want 1", got)
+	}
+	last := s.o.Last()
+	var commTerm *TermReport
+	for i := range last.Terms {
+		if last.Terms[i].Term == "comm" {
+			commTerm = &last.Terms[i]
+		}
+	}
+	if commTerm == nil || !commTerm.Anomaly {
+		t.Fatalf("anomaly not attributed to comm: %+v", last.Terms)
+	}
+	if state, ok := telemetry.Health(); ok || state != "model_anomaly" {
+		t.Fatalf("DegradeHealth did not trip /healthz: state=%q ok=%v", state, ok)
+	}
+
+	// The anomalous residual is not folded into the EWMA, so a return to
+	// normal does not look anomalous in the other direction.
+	s.doStep(0.1)
+	if got := s.o.Anomalies(); got != 1 {
+		t.Fatalf("recovery window re-flagged: %d anomalies", got)
+	}
+	if got := s.o.Windows(); got != 7 {
+		t.Fatalf("windows = %d, want 7", got)
+	}
+}
+
+// MinWindows is the warm-up: a spike landing before the EWMA has seen
+// enough windows must not fire.
+func TestOracleWarmupSuppressesEarlySpike(t *testing.T) {
+	s := newSynthetic(Config{Window: 1, MinWindows: 3})
+	s.doStep(0.1)
+	s.doStep(0.6) // EWMA has 1 observation < MinWindows
+	if got := s.o.Anomalies(); got != 0 {
+		t.Fatalf("spike inside warm-up fired %d anomalies", got)
+	}
+}
+
+// A trailing partial window is still evaluated for /modelz but skips the
+// anomaly check: its step count differs from the EWMA's training windows.
+func TestOraclePartialFinalWindow(t *testing.T) {
+	s := newSynthetic(Config{Window: 2})
+	for i := 0; i < 5; i++ {
+		s.doStep(0.1)
+	}
+	s.o.Finish(s.now)
+	if got := s.o.Windows(); got != 2 {
+		t.Fatalf("full windows = %d, want 2 (5 steps / window 2)", got)
+	}
+	last := s.o.Last()
+	if last == nil || !last.Partial {
+		t.Fatalf("trailing window not marked partial: %+v", last)
+	}
+	if last.StartStep != 4 || last.EndStep != 5 {
+		t.Fatalf("partial window spans steps %d-%d, want 4-5", last.StartStep, last.EndStep)
+	}
+	for _, tr := range last.Terms {
+		if tr.Anomaly {
+			t.Fatalf("partial window ran the anomaly check: %+v", tr)
+		}
+	}
+}
+
+// The exact-count prediction wires the engine's pair counters into the
+// Par term; the closed forms cover the other three.
+func TestPredictCountsUsesExactPairs(t *testing.T) {
+	m := core.Machine{Name: "m", A2: 2e-6, A3: 1e-5, A4: 1e-7}
+	app := core.AppFor(testSystem(), 10, 1, 4, 5)
+	b := m.PredictCounts(app, 1000, 300)
+	want := (2e-6*1000 + 1e-5*300) / 4
+	if b.Par != want {
+		t.Fatalf("Par = %g, want %g", b.Par, want)
+	}
+	if b.Seq != m.Predict(app).Seq {
+		t.Fatal("PredictCounts changed the Seq closed form")
+	}
+}
+
+func TestTermNamesMatchBreakdownTerms(t *testing.T) {
+	names := core.TermNames()
+	b := core.Breakdown{Par: 1, Seq: 2, Comm: 3, Sync: 4}
+	terms := b.Terms()
+	if len(names) != 4 || len(terms) != 4 {
+		t.Fatalf("names %v terms %v", names, terms)
+	}
+	want := map[string]float64{"par": 1, "seq": 2, "comm": 3, "sync": 4}
+	for i, n := range names {
+		if terms[i] != want[n] {
+			t.Fatalf("term %q = %g, want %g", n, terms[i], want[n])
+		}
+	}
+}
+
+// /modelz is a plain JSON document of the oracle's state.
+func TestModelzHandler(t *testing.T) {
+	s := newSynthetic(Config{Window: 1, Machine: core.Machine{Name: "m-test", A1: 1e12}})
+	s.doStep(0.1)
+	s.doStep(0.1)
+
+	rr := httptest.NewRecorder()
+	s.o.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/modelz", nil))
+	if rr.Code != 200 {
+		t.Fatalf("/modelz status %d", rr.Code)
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rr.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/modelz not JSON: %v\n%s", err, rr.Body.String())
+	}
+	if snap.Windows != 2 || snap.Anomalies != 0 || snap.Machine.Name != "m-test" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Last == nil || len(snap.Last.Terms) != 4 {
+		t.Fatalf("snapshot missing last window: %+v", snap.Last)
+	}
+	if !strings.Contains(rr.Body.String(), `"measured"`) {
+		t.Fatalf("term reports missing measured values:\n%s", rr.Body.String())
+	}
+}

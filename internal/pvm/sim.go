@@ -152,6 +152,14 @@ func (t *simTask) ReportRecovery(start, end float64) {
 	}
 }
 
+// ReportFlow implements FlowReporter by recording the RPC flow on the
+// session's trace recorder.
+func (t *simTask) ReportFlow(method string, server int, issue, reply float64) {
+	if t.vm.Recorder != nil {
+		t.vm.Recorder.Flow(method, t.TID(), server, issue, reply)
+	}
+}
+
 func (t *simTask) Probe(src, tag int) bool {
 	return t.proc.ProbeSrcTag(src, tag)
 }

@@ -90,3 +90,19 @@ func ReportRecovery(t Task, start, end float64) {
 		rr.ReportRecovery(start, end)
 	}
 }
+
+// FlowReporter is the optional capability to record one client→server RPC
+// flow — method name, the server task it executed on, the issue and reply
+// times — on the task's trace recorder, linking the client's call span to
+// the matching server execution span.
+type FlowReporter interface {
+	ReportFlow(method string, server int, issue, reply float64)
+}
+
+// ReportFlow records an RPC flow on fabrics that record timelines, and is
+// a no-op elsewhere.
+func ReportFlow(t Task, method string, server int, issue, reply float64) {
+	if fr, ok := t.(FlowReporter); ok {
+		fr.ReportFlow(method, server, issue, reply)
+	}
+}

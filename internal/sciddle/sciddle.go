@@ -419,6 +419,7 @@ func (p *Pending) Wait() *pvm.Buffer {
 	st.BytesIn += b.Bytes()
 	st.tBytesIn.Add(uint64(b.Bytes()))
 	st.tLat.Observe(now - p.t0)
+	pvm.ReportFlow(p.c.t, p.method, p.server, p.t0, now)
 	p.reply = b
 	p.done = true
 	return b
@@ -438,7 +439,9 @@ func (p *Pending) WaitErr() (*pvm.Buffer, error) {
 	if err != nil {
 		return nil, err
 	}
-	st.tLat.Observe(p.c.t.Now() - p.t0)
+	now := p.c.t.Now()
+	st.tLat.Observe(now - p.t0)
+	pvm.ReportFlow(p.c.t, p.method, p.server, p.t0, now)
 	p.reply = b
 	p.done = true
 	return b, nil
@@ -571,6 +574,7 @@ func (c *Conn) CallPhasePacked(method string, pack func(i int, args *pvm.Buffer)
 		st.BytesIn += b.Bytes()
 		st.tBytesIn.Add(uint64(b.Bytes()))
 		st.tLat.Observe(now - c.callT0s[i])
+		pvm.ReportFlow(c.t, method, c.servers[i], c.callT0s[i], now)
 		c.replies[i] = b
 	}
 	return c.replies
@@ -622,7 +626,9 @@ func (c *Conn) CallPhasePackedErr(method string, pack func(i int, args *pvm.Buff
 		if err != nil {
 			return nil, err
 		}
-		st.tLat.Observe(c.t.Now() - c.callT0s[i])
+		now := c.t.Now()
+		st.tLat.Observe(now - c.callT0s[i])
+		pvm.ReportFlow(c.t, method, c.servers[i], c.callT0s[i], now)
 		c.replies[i] = b
 	}
 	return c.replies, nil

@@ -5,19 +5,56 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
 
 // The HTTP plane: /metrics in Prometheus text format, /healthz reflecting
 // the supervisor's state, and the standard pprof handlers — mounted on a
 // private mux so library users never pollute http.DefaultServeMux.
 
+// extra holds endpoints registered by other packages (e.g. the model
+// oracle's /modelz) so they are mounted on every Handler/Serve without
+// telemetry importing them.
+var (
+	extraMu sync.Mutex
+	extra   = map[string]http.Handler{}
+)
+
+// Handle registers an extra endpoint served by Handler and Serve.  The
+// registry is consulted per request, so registering before or after the
+// server starts both work — cmd/opal serves early and arms the oracle's
+// /modelz later.  Registering the same pattern again replaces the
+// previous handler; a nil handler removes it.  Patterns are exact paths
+// and must not shadow the built-in endpoints.
+func Handle(pattern string, h http.Handler) {
+	extraMu.Lock()
+	defer extraMu.Unlock()
+	if h == nil {
+		delete(extra, pattern)
+		return
+	}
+	extra[pattern] = h
+}
+
 // Handler returns the telemetry endpoints:
 //
 //	/metrics       Prometheus text exposition of the Default registry
 //	/healthz       JSON health: 200 while healthy/healing, 503 once degraded
 //	/debug/pprof/  net/http/pprof profiles
+//
+// plus any endpoints registered via Handle (e.g. the oracle's /modelz).
 func Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		extraMu.Lock()
+		h := extra[r.URL.Path]
+		extraMu.Unlock()
+		if h == nil {
+			http.NotFound(w, r)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		Default.WritePrometheus(w)

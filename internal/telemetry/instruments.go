@@ -41,4 +41,15 @@ var (
 
 	// Fault injection plane, split by kind.
 	FaultsInjected = Default.CounterVec("opal_faults_injected_total", "Faults injected, by kind.", "kind")
+
+	// Journal plane.
+	JournalDropped = Default.Counter("opal_journal_dropped_total", "Journal events dropped from the JSONL stream by the byte cap.")
+
+	// Model oracle (internal/oracle): live predicted-vs-measured loop.
+	OracleWindows   = Default.Counter("opal_oracle_windows_total", "Oracle windows evaluated (predicted vs measured).")
+	OracleAnomalies = Default.CounterVec("opal_oracle_anomalies_total", "Oracle anomaly events, by model term.", "term")
+	OracleResidual  = Default.FGaugeVec("opal_oracle_residual_seconds", "Latest per-window residual (measured minus predicted virtual seconds), by model term.", "term")
+	OracleAbsResid  = Default.HistogramVec("opal_oracle_abs_residual_seconds", "Absolute per-window residual (virtual seconds), by model term.", "term", LatencyBuckets)
+	OracleParam     = Default.FGaugeVec("opal_oracle_machine_param", "Latest recalibrated machine parameter value, by parameter name (a1, b1, a2, a3, a4, b5).", "param")
+	OracleRecals    = Default.Counter("opal_oracle_recalibrations_total", "Successful sliding-window recalibrations.")
 )

@@ -32,6 +32,14 @@ type Journal struct {
 	dumpW   io.Writer       // destination for triggered flight dumps
 	dumpOn  map[string]bool // event types that trigger a dump
 	started time.Time
+	// maxBytes caps the JSONL stream (<= 0: unbounded).  Once a rendered
+	// line would push written past the cap it is dropped from the stream —
+	// the flight ring still records it — and dropped counts it, so a
+	// misbehaving run cannot fill the disk while the journal stays honest
+	// about what is missing.
+	maxBytes int64
+	written  int64
+	dropped  uint64
 }
 
 // current is the installed journal; Emit no-ops while it is nil.
@@ -85,6 +93,31 @@ func (j *Journal) SetDumpTrigger(types ...string) {
 // Flight returns the journal's flight recorder.
 func (j *Journal) Flight() *Flight { return j.flight }
 
+// SetMaxBytes caps the journal's JSONL stream at n bytes; events past the
+// cap are dropped (and counted) rather than written.  n <= 0 removes the
+// cap.  The flight recorder is unaffected — it is bounded by event count
+// already.
+func (j *Journal) SetMaxBytes(n int64) {
+	j.mu.Lock()
+	j.maxBytes = n
+	j.mu.Unlock()
+}
+
+// Dropped returns the number of events dropped from the JSONL stream by
+// the byte cap.
+func (j *Journal) Dropped() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Written returns the number of JSONL bytes written so far.
+func (j *Journal) Written() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.written
+}
+
 // Emit records one event on the installed journal; a no-op when no
 // journal is installed.  The event is stamped with the wall clock and the
 // current run ID.
@@ -106,7 +139,13 @@ func (j *Journal) Emit(typ string, fields F) {
 	line := string(j.buf)
 	j.flight.add(line)
 	if j.w != nil {
-		io.WriteString(j.w, line)
+		if j.maxBytes > 0 && j.written+int64(len(line)) > j.maxBytes {
+			j.dropped++
+			JournalDropped.Add(1)
+		} else {
+			io.WriteString(j.w, line)
+			j.written += int64(len(line))
+		}
 	}
 	if j.dumpW != nil && j.dumpOn[typ] {
 		fmt.Fprintf(j.dumpW, "--- flight recorder dump (trigger: %s) ---\n", typ)

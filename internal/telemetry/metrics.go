@@ -6,6 +6,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"unsafe"
@@ -79,11 +80,33 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	r.mu.Unlock()
 	sort.Slice(ms, func(i, j int) bool { return ms[i].metricName() < ms[j].metricName() })
 	if run := Run(); run != "" {
-		fmt.Fprintf(w, "# HELP opal_run The current run identifier.\n# TYPE opal_run gauge\nopal_run{id=%q} 1\n", run)
+		fmt.Fprintf(w, "# HELP opal_run The current run identifier.\n# TYPE opal_run gauge\nopal_run{id=\"%s\"} 1\n", promLabelEscape(run))
 	}
 	for _, m := range ms {
 		m.writeProm(w)
 	}
+}
+
+// promLabelEscaper implements the text-format escaping for label values:
+// exactly backslash, double-quote and newline.  Go's %q is not a
+// substitute — it also escapes tabs and non-ASCII runes with sequences
+// the Prometheus parser rejects.
+var promLabelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// promHelpEscaper escapes HELP text, where only backslash and newline are
+// special (an unescaped newline would terminate the comment mid-text).
+var promHelpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// promLabelEscape escapes s for use inside a quoted label value.
+func promLabelEscape(s string) string { return promLabelEscaper.Replace(s) }
+
+// promHelpEscape escapes s for use in a # HELP line.
+func promHelpEscape(s string) string { return promHelpEscaper.Replace(s) }
+
+// writeHeader renders the # HELP / # TYPE preamble of one metric family —
+// always in that order, HELP first, as the exposition format specifies.
+func writeHeader(w io.Writer, name, help, typ string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, promHelpEscape(help), name, typ)
 }
 
 // Counter is a monotonically increasing counter, sharded across cache
@@ -123,7 +146,8 @@ func (c *Counter) Value() uint64 {
 func (c *Counter) metricName() string { return c.name }
 
 func (c *Counter) writeProm(w io.Writer) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.Value())
+	writeHeader(w, c.name, c.help, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.name, c.Value())
 }
 
 // Gauge is a settable instantaneous value (e.g. the supervisor's state).
@@ -153,7 +177,96 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 func (g *Gauge) metricName() string { return g.name }
 
 func (g *Gauge) writeProm(w io.Writer) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", g.name, g.help, g.name, g.name, g.Value())
+	writeHeader(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %d\n", g.name, g.Value())
+}
+
+// FGauge is a settable float-valued gauge — the model oracle's residuals
+// and fitted machine parameters are seconds and rates, not integers.
+// Like Gauge, Set is not gated on the plane switch: oracle windows close
+// rarely, and /modelz must reflect the last window even while the
+// high-frequency instruments are disarmed.
+type FGauge struct {
+	name, help string
+	labelKey   string // optional single label (set by FGaugeVec)
+	labelVal   string
+	bits       atomic.Uint64
+}
+
+// FGauge registers a new float gauge.
+func (r *Registry) FGauge(name, help string) *FGauge {
+	g := &FGauge{name: name, help: help}
+	r.register(g)
+	return g
+}
+
+// Set stores v.
+func (g *FGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *FGauge) metricName() string { return g.name }
+
+func (g *FGauge) writeBody(w io.Writer) {
+	if g.labelKey == "" {
+		fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.Value()))
+		return
+	}
+	fmt.Fprintf(w, "%s{%s=\"%s\"} %s\n", g.name, g.labelKey, promLabelEscape(g.labelVal), formatFloat(g.Value()))
+}
+
+func (g *FGauge) writeProm(w io.Writer) {
+	writeHeader(w, g.name, g.help, "gauge")
+	g.writeBody(w)
+}
+
+// FGaugeVec is a family of float gauges split by one label (e.g. a model
+// term or a fitted parameter name).
+type FGaugeVec struct {
+	name, help, label string
+	mu                sync.RWMutex
+	children          map[string]*FGauge
+	order             []string
+}
+
+// FGaugeVec registers a new float gauge family.
+func (r *Registry) FGaugeVec(name, help, label string) *FGaugeVec {
+	v := &FGaugeVec{name: name, help: help, label: label, children: make(map[string]*FGauge)}
+	r.register(v)
+	return v
+}
+
+// With returns the child gauge for the given label value, creating it on
+// first use.
+func (v *FGaugeVec) With(val string) *FGauge {
+	v.mu.RLock()
+	g := v.children[val]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.children[val]; g != nil {
+		return g
+	}
+	g = &FGauge{name: v.name, help: v.help, labelKey: v.label, labelVal: val}
+	v.children[val] = g
+	v.order = append(v.order, val)
+	sort.Strings(v.order)
+	return g
+}
+
+func (v *FGaugeVec) metricName() string { return v.name }
+
+func (v *FGaugeVec) writeProm(w io.Writer) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	writeHeader(w, v.name, v.help, "gauge")
+	for _, val := range v.order {
+		v.children[val].writeBody(w)
+	}
 }
 
 // Histogram is a fixed-bucket histogram: cumulative `le` buckets in the
@@ -229,14 +342,14 @@ func (h *Histogram) label(le string) string {
 	if h.labelKey == "" {
 		return fmt.Sprintf("{le=%q}", le)
 	}
-	return fmt.Sprintf("{%s=%q,le=%q}", h.labelKey, h.labelVal, le)
+	return fmt.Sprintf("{%s=\"%s\",le=%q}", h.labelKey, promLabelEscape(h.labelVal), le)
 }
 
 func (h *Histogram) suffix() string {
 	if h.labelKey == "" {
 		return ""
 	}
-	return fmt.Sprintf("{%s=%q}", h.labelKey, h.labelVal)
+	return fmt.Sprintf("{%s=\"%s\"}", h.labelKey, promLabelEscape(h.labelVal))
 }
 
 // writeBody renders buckets/sum/count without the HELP/TYPE header so a
@@ -254,7 +367,7 @@ func (h *Histogram) writeBody(w io.Writer) {
 }
 
 func (h *Histogram) writeProm(w io.Writer) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", h.name, h.help, h.name)
+	writeHeader(w, h.name, h.help, "histogram")
 	h.writeBody(w)
 }
 
@@ -303,9 +416,9 @@ func (v *CounterVec) metricName() string { return v.name }
 func (v *CounterVec) writeProm(w io.Writer) {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", v.name, v.help, v.name)
+	writeHeader(w, v.name, v.help, "counter")
 	for _, val := range v.order {
-		fmt.Fprintf(w, "%s{%s=%q} %d\n", v.name, v.label, val, v.children[val].Value())
+		fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", v.name, v.label, promLabelEscape(val), v.children[val].Value())
 	}
 }
 
@@ -356,7 +469,7 @@ func (v *HistogramVec) metricName() string { return v.name }
 func (v *HistogramVec) writeProm(w io.Writer) {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", v.name, v.help, v.name)
+	writeHeader(w, v.name, v.help, "histogram")
 	for _, val := range v.order {
 		v.children[val].writeBody(w)
 	}

@@ -26,6 +26,8 @@ type chromeEvent struct {
 	Dur  float64        `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	Bp   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -76,6 +78,28 @@ func WriteChromeTrace(w io.Writer, r *Recorder, names map[int]string) error {
 			Dur:  (s.End - s.Start) * 1e6,
 			Pid:  0,
 			Tid:  s.Proc,
+		})
+	}
+
+	// RPC flows: one call span per flow on the client row, plus a flow
+	// start ("s") there and a flow finish ("f", binding to the enclosing
+	// slice) on the server row, so Perfetto draws an arrow from each client
+	// call to the matching server execution.  Flow ids are offset by one
+	// because id 0 would be dropped by omitempty.
+	for _, f := range r.Flows() {
+		emit(chromeEvent{
+			Name: f.Method, Cat: "rpc", Ph: "X",
+			Ts: f.Issue * 1e6, Dur: (f.Reply - f.Issue) * 1e6,
+			Pid: 0, Tid: f.Client,
+			Args: map[string]any{"flow": f.ID, "server": f.Server},
+		})
+		emit(chromeEvent{
+			Name: f.Method, Cat: "flow", Ph: "s", ID: f.ID + 1,
+			Ts: f.Issue * 1e6, Pid: 0, Tid: f.Client,
+		})
+		emit(chromeEvent{
+			Name: f.Method, Cat: "flow", Ph: "f", Bp: "e", ID: f.ID + 1,
+			Ts: f.Reply * 1e6, Pid: 0, Tid: f.Server,
 		})
 	}
 	io.WriteString(bw, "]}\n")

@@ -86,6 +86,66 @@ func TestWriteChromeTrace(t *testing.T) {
 	}
 }
 
+// Flows export as a client-row call span plus a flow-start/flow-finish
+// pair, so Perfetto draws an arrow from each call to the server execution
+// it waited on.
+func TestWriteChromeTraceFlows(t *testing.T) {
+	r := NewRecorder()
+	r.Segment(0, "client", vm.SegIdle, 0, 1)
+	r.Segment(1, "server", vm.SegCompute, 0.2, 0.8)
+	r.Flow("nbint", 0, 1, 0.1, 0.9)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			ID   int            `json:"id"`
+			Bp   string         `json:"bp"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export invalid: %v\n%s", err, buf.String())
+	}
+	var call, start, finish bool
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Ph == "X" && ev.Cat == "rpc":
+			call = true
+			if ev.Name != "nbint" || ev.Tid != 0 || ev.Ts != 0.1e6 || ev.Dur != 0.8e6 {
+				t.Fatalf("call span = %+v", ev)
+			}
+			if ev.Args["flow"] != 0.0 || ev.Args["server"] != 1.0 {
+				t.Fatalf("call span args = %v", ev.Args)
+			}
+		case ev.Ph == "s":
+			start = true
+			// Flow ids are offset by one so id 0 survives omitempty.
+			if ev.Cat != "flow" || ev.ID != 1 || ev.Tid != 0 || ev.Ts != 0.1e6 {
+				t.Fatalf("flow start = %+v", ev)
+			}
+		case ev.Ph == "f":
+			finish = true
+			// bp="e" binds the finish to the enclosing server slice.
+			if ev.Cat != "flow" || ev.ID != 1 || ev.Tid != 1 || ev.Ts != 0.9e6 || ev.Bp != "e" {
+				t.Fatalf("flow finish = %+v", ev)
+			}
+		}
+	}
+	if !call || !start || !finish {
+		t.Fatalf("flow events missing (call=%v start=%v finish=%v):\n%s",
+			call, start, finish, buf.String())
+	}
+}
+
 func TestWriteChromeTraceEmptyRecorder(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteChromeTrace(&buf, NewRecorder(), nil); err != nil {

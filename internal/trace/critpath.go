@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"opalperf/internal/vm"
+)
+
+// The critical-path reducer: walks the client's timeline through a window
+// and attributes every second of it to one of the paper's model terms.
+// The client's own segments classify directly (compute → sequential,
+// transfers → communication, barriers → synchronization); the interesting
+// case is client *idle* time, which the plain breakdown lumps into one
+// bucket.  Here the recorded RPC flows identify which servers the client
+// was actually waiting on during each idle span, and the portion of the
+// wait during which at least one awaited server was computing is credited
+// to the parallel-computation term — the paper's t_par_comp seen from the
+// critical path — while the remainder stays idle (in-flight transfers,
+// stragglers that finished, scheduling gaps).
+
+// CritPath is the wall-clock blame of one client window, in seconds per
+// model term.  Par+Seq+Comm+Sync+Recovery+Idle equals the client's total
+// recorded time in the window.
+type CritPath struct {
+	Par      float64 // client waits covered by awaited-server computation
+	Seq      float64 // client's own computation
+	Comm     float64 // client transfer time
+	Sync     float64 // client barrier time
+	Recovery float64 // client fault-recovery time
+	Idle     float64 // waits not covered by any awaited server's computation
+	Flows    int     // RPC flows overlapping the window
+}
+
+// Total returns the attributed client time.
+func (c CritPath) Total() float64 {
+	return c.Par + c.Seq + c.Comm + c.Sync + c.Recovery + c.Idle
+}
+
+func (c CritPath) String() string {
+	return fmt.Sprintf("critpath: par %.3f + seq %.3f + comm %.3f + sync %.3f + recovery %.3f + idle %.3f (%d flows)",
+		c.Par, c.Seq, c.Comm, c.Sync, c.Recovery, c.Idle, c.Flows)
+}
+
+// ComputeCriticalPath attributes the client's timeline in [t0, t1] to the
+// model terms using the recorded flows to resolve idle time.
+func ComputeCriticalPath(r *Recorder, clientID int, t0, t1 float64) CritPath {
+	segs := r.Segments()
+	flows := r.Flows()
+	var cp CritPath
+
+	// Server compute intervals, clipped to the window, indexed by proc.
+	compute := map[int][]ival{}
+	for _, s := range segs {
+		if s.Proc == clientID || s.Kind != vm.SegCompute {
+			continue
+		}
+		if iv, ok := clip(s.Start, s.End, t0, t1); ok {
+			compute[s.Proc] = append(compute[s.Proc], iv)
+		}
+	}
+	for _, f := range flows {
+		if f.Client == clientID && f.Issue < t1 && f.Reply > t0 {
+			cp.Flows++
+		}
+	}
+
+	scratch := make([]ival, 0, 16)
+	for _, s := range segs {
+		if s.Proc != clientID {
+			continue
+		}
+		iv, ok := clip(s.Start, s.End, t0, t1)
+		if !ok {
+			continue
+		}
+		d := iv.b - iv.a
+		switch s.Kind {
+		case vm.SegCompute, vm.SegOther:
+			cp.Seq += d
+		case vm.SegComm:
+			cp.Comm += d
+		case vm.SegSync:
+			cp.Sync += d
+		case vm.SegRecovery:
+			cp.Recovery += d
+		case vm.SegIdle:
+			// Which servers was the client waiting on here?  Flows open
+			// anywhere in the span name the awaited servers; time where at
+			// least one of them computes is parallel work on the critical
+			// path.
+			scratch = scratch[:0]
+			for _, f := range flows {
+				if f.Client != clientID || f.Issue >= iv.b || f.Reply <= iv.a {
+					continue
+				}
+				fa, fb := f.Issue, f.Reply
+				for _, c := range compute[f.Server] {
+					if ov, ok := clip(c.a, c.b, maxf(fa, iv.a), minf(fb, iv.b)); ok {
+						scratch = append(scratch, ov)
+					}
+				}
+			}
+			covered := unionLen(scratch)
+			cp.Par += covered
+			cp.Idle += d - covered
+		default:
+			cp.Idle += d
+		}
+	}
+	return cp
+}
+
+type ival struct{ a, b float64 }
+
+// clip intersects [a, b] with [t0, t1]; ok is false for an empty result.
+func clip(a, b, t0, t1 float64) (ival, bool) {
+	if a < t0 {
+		a = t0
+	}
+	if b > t1 {
+		b = t1
+	}
+	if b <= a {
+		return ival{}, false
+	}
+	return ival{a, b}, true
+}
+
+// unionLen measures the union of the intervals (sorts in place).
+func unionLen(ivs []ival) float64 {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].a < ivs[j].a })
+	total, curA, curB := 0.0, ivs[0].a, ivs[0].b
+	for _, iv := range ivs[1:] {
+		if iv.a > curB {
+			total += curB - curA
+			curA, curB = iv.a, iv.b
+			continue
+		}
+		if iv.b > curB {
+			curB = iv.b
+		}
+	}
+	return total + (curB - curA)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

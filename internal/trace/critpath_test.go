@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"opalperf/internal/vm"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestRecorderFlows(t *testing.T) {
+	r := NewRecorder()
+	if f := r.Flows(); f == nil || len(f) != 0 {
+		t.Fatalf("empty recorder Flows() = %#v, want empty non-nil", f)
+	}
+	r.Flow("nbint", 0, 1, 0.5, 1.5)
+	r.Flow("update", 0, 2, 0.6, 1.8)
+	f := r.Flows()
+	if len(f) != 2 {
+		t.Fatalf("recorded %d flows, want 2", len(f))
+	}
+	if f[0].ID != 0 || f[1].ID != 1 {
+		t.Fatalf("flow ids not in recording order: %+v", f)
+	}
+	want := Flow{ID: 1, Method: "update", Client: 0, Server: 2, Issue: 0.6, Reply: 1.8}
+	if f[1] != want {
+		t.Fatalf("flow = %+v, want %+v", f[1], want)
+	}
+	r.Reset()
+	if len(r.Flows()) != 0 {
+		t.Fatal("Reset did not clear flows")
+	}
+	r.Flow("nbint", 0, 1, 0, 1)
+	if got := r.Flows()[0].ID; got != 0 {
+		t.Fatalf("ids do not restart after Reset: %d", got)
+	}
+}
+
+// The defining case of the reducer: a client idle span is split into the
+// part covered by awaited-server computation (parallel work on the
+// critical path) and the genuinely idle remainder.
+//
+//	client: |compute 0-1|comm 1-1.2|   idle 1.2-2.2    |sync 2.2-2.4|
+//	srv 1 :                |compute 1.2-1.8|
+//	srv 2 :                     |compute 1.5-2.0|
+//	flows : 0→1 [1.0,2.0], 0→2 [1.1,2.2]
+//
+// The union of awaited compute inside the idle span is [1.2,2.0] = 0.8s.
+func TestComputeCriticalPathResolvesIdle(t *testing.T) {
+	r := NewRecorder()
+	r.Segment(0, "client", vm.SegCompute, 0, 1)
+	r.Segment(0, "client", vm.SegComm, 1, 1.2)
+	r.Segment(0, "client", vm.SegIdle, 1.2, 2.2)
+	r.Segment(0, "client", vm.SegSync, 2.2, 2.4)
+	r.Segment(1, "srv", vm.SegCompute, 1.2, 1.8)
+	r.Segment(2, "srv", vm.SegCompute, 1.5, 2.0)
+	r.Flow("nbint", 0, 1, 1.0, 2.0)
+	r.Flow("nbint", 0, 2, 1.1, 2.2)
+
+	cp := ComputeCriticalPath(r, 0, 0, 2.4)
+	if !approx(cp.Seq, 1.0) || !approx(cp.Comm, 0.2) || !approx(cp.Sync, 0.2) {
+		t.Fatalf("direct terms wrong: %s", cp)
+	}
+	if !approx(cp.Par, 0.8) || !approx(cp.Idle, 0.2) {
+		t.Fatalf("idle not resolved via flows: %s", cp)
+	}
+	if cp.Flows != 2 {
+		t.Fatalf("flows overlapping window = %d, want 2", cp.Flows)
+	}
+	// Attribution is exhaustive: the terms sum to the client's recorded time.
+	if !approx(cp.Total(), 2.4) {
+		t.Fatalf("total = %g, want 2.4", cp.Total())
+	}
+}
+
+// Without flows there is no evidence of who the client waited on, so idle
+// time stays idle even while servers happen to compute.
+func TestComputeCriticalPathNoFlowsAllIdle(t *testing.T) {
+	r := NewRecorder()
+	r.Segment(0, "client", vm.SegIdle, 0, 1)
+	r.Segment(1, "srv", vm.SegCompute, 0.2, 0.8)
+	cp := ComputeCriticalPath(r, 0, 0, 1)
+	if !approx(cp.Idle, 1) || cp.Par != 0 || cp.Flows != 0 {
+		t.Fatalf("unattributed wait must stay idle: %s", cp)
+	}
+}
+
+// Segments, flows and server compute are all clipped to the window, so a
+// sliding-window caller (the oracle) sees only the window's share.
+func TestComputeCriticalPathWindowClip(t *testing.T) {
+	r := NewRecorder()
+	r.Segment(0, "client", vm.SegCompute, 0, 1)
+	r.Segment(0, "client", vm.SegIdle, 1, 3)
+	r.Segment(1, "srv", vm.SegCompute, 1, 3)
+	r.Flow("nbint", 0, 1, 1, 3)
+
+	cp := ComputeCriticalPath(r, 0, 0.5, 2)
+	if !approx(cp.Seq, 0.5) {
+		t.Fatalf("clipped seq = %g, want 0.5", cp.Seq)
+	}
+	if !approx(cp.Par, 1.0) || !approx(cp.Idle, 0) {
+		t.Fatalf("clipped idle resolution wrong: %s", cp)
+	}
+	if !approx(cp.Total(), 1.5) {
+		t.Fatalf("clipped total = %g, want 1.5", cp.Total())
+	}
+	// A window that misses the flow entirely counts zero flows.
+	if got := ComputeCriticalPath(r, 0, 0, 0.9).Flows; got != 0 {
+		t.Fatalf("flow counted outside its lifetime: %d", got)
+	}
+}
+
+// Overlapping waits on the same server must not be double-credited: two
+// concurrent flows to one server cover the same compute interval once.
+func TestComputeCriticalPathUnionNotSum(t *testing.T) {
+	r := NewRecorder()
+	r.Segment(0, "client", vm.SegIdle, 0, 1)
+	r.Segment(1, "srv", vm.SegCompute, 0, 1)
+	r.Flow("nbint", 0, 1, 0, 1)
+	r.Flow("update", 0, 1, 0, 1)
+	cp := ComputeCriticalPath(r, 0, 0, 1)
+	if !approx(cp.Par, 1) || !approx(cp.Idle, 0) {
+		t.Fatalf("overlapping flows double-credited: %s", cp)
+	}
+}
+
+func TestUnionLen(t *testing.T) {
+	cases := []struct {
+		ivs  []ival
+		want float64
+	}{
+		{nil, 0},
+		{[]ival{{0, 1}}, 1},
+		{[]ival{{0, 1}, {2, 3}}, 2},
+		{[]ival{{0, 2}, {1, 3}}, 3},
+		{[]ival{{1, 3}, {0, 2}, {0.5, 1}}, 3},
+		{[]ival{{0, 5}, {1, 2}}, 5},
+	}
+	for _, c := range cases {
+		if got := unionLen(append([]ival(nil), c.ivs...)); !approx(got, c.want) {
+			t.Errorf("unionLen(%v) = %g, want %g", c.ivs, got, c.want)
+		}
+	}
+}

@@ -31,11 +31,26 @@ type Segment struct {
 // Duration returns the span length.
 func (s Segment) Duration() float64 { return s.End - s.Start }
 
+// Flow links one client RPC call to its execution on a server: the client
+// issues the request at Issue and receives the reply at Reply.  Flows let
+// the Chrome exporter draw arrows from call spans to the matching server
+// execution spans and let the critical-path reducer attribute client wait
+// time to the server that caused it.
+type Flow struct {
+	ID     int
+	Method string
+	Client int
+	Server int
+	Issue  float64
+	Reply  float64
+}
+
 // Recorder implements vm.Tracer and accumulates segments.  It is safe for
 // concurrent use so that the real-goroutine PVM fabric can share it.
 type Recorder struct {
-	mu   sync.Mutex
-	segs []Segment
+	mu    sync.Mutex
+	segs  []Segment
+	flows []Flow
 }
 
 // NewRecorder creates an empty recorder.
@@ -60,14 +75,36 @@ func (r *Recorder) Segments() []Segment {
 	return out
 }
 
-// Reset discards all recorded segments while retaining the backing
-// array's capacity, so a recorder reused across measurement windows
-// (e.g. via md.Options.AfterInit) reaches a steady state where recording
-// allocates nothing.
+// Reset discards all recorded segments and flows while retaining the
+// backing arrays' capacity, so a recorder reused across measurement
+// windows (e.g. via md.Options.AfterInit) reaches a steady state where
+// recording allocates nothing.
 func (r *Recorder) Reset() {
 	r.mu.Lock()
 	r.segs = r.segs[:0]
+	r.flows = r.flows[:0]
 	r.mu.Unlock()
+}
+
+// Flow records one client→server RPC flow; IDs are assigned in recording
+// order.
+func (r *Recorder) Flow(method string, client, server int, issue, reply float64) {
+	r.mu.Lock()
+	r.flows = append(r.flows, Flow{
+		ID: len(r.flows), Method: method,
+		Client: client, Server: server, Issue: issue, Reply: reply,
+	})
+	r.mu.Unlock()
+}
+
+// Flows returns a copy of all recorded flows in recording order; like
+// Segments the result is non-nil.
+func (r *Recorder) Flows() []Flow {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Flow, len(r.flows))
+	copy(out, r.flows)
+	return out
 }
 
 // Totals sums the recorded time per kind for one process.

@@ -74,6 +74,43 @@ func TestCommandSmoke(t *testing.T) {
 			t.Error("resume banner missing")
 		}
 	})
+	t.Run("opal-oracle", func(t *testing.T) {
+		journal := filepath.Join(t.TempDir(), "run.jsonl")
+		out := runBuilt(t, dir, "opal",
+			"-size", "small", "-scale", "0.1", "-servers", "3", "-steps", "8",
+			"-oracle", "-oracle-window", "2", "-modelz",
+			"-journal", journal, "-journal-max-bytes", "65536")
+		for _, want := range []string{"model oracle:", "0 anomaly(ies)", "oracle: last window", "predicted [s]"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("opal -oracle output missing %q:\n%s", want, out)
+			}
+		}
+		data, err := os.ReadFile(journal)
+		if err != nil {
+			t.Fatalf("journal not written: %v", err)
+		}
+		for _, want := range []string{`"type":"oracle_start"`, `"type":"oracle_finish"`} {
+			if !strings.Contains(string(data), want) {
+				t.Errorf("journal missing %s", want)
+			}
+		}
+	})
+	t.Run("perfdiff", func(t *testing.T) {
+		base := filepath.Join("cmd", "perfdiff", "testdata", "base.json")
+		bad := filepath.Join("cmd", "perfdiff", "testdata", "regressed.json")
+		out := runBuilt(t, dir, "perfdiff", base, base)
+		if !strings.Contains(out, "perfdiff: ok") {
+			t.Errorf("self-diff not ok:\n%s", out)
+		}
+		cmd := exec.Command(filepath.Join(dir, "perfdiff"), base, bad)
+		outB, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Errorf("injected regression exited zero:\n%s", outB)
+		}
+		if !strings.Contains(string(outB), "REGRESSION") {
+			t.Errorf("regression not reported:\n%s", outB)
+		}
+	})
 	t.Run("calibrate", func(t *testing.T) {
 		out := runBuilt(t, dir, "calibrate", "-scale", "0.08", "-steps", "3")
 		for _, want := range []string{"fitted model parameters", "MAPE", "a1"} {

@@ -7,9 +7,11 @@ import (
 	"strings"
 	"testing"
 
+	"opalperf/internal/core"
 	"opalperf/internal/fault"
 	"opalperf/internal/harness"
 	"opalperf/internal/md"
+	"opalperf/internal/oracle"
 	"opalperf/internal/platform"
 	"opalperf/internal/telemetry"
 )
@@ -37,17 +39,29 @@ func supervisedSpec(ckptSink func(*md.Checkpoint) error) harness.RunSpec {
 
 // TestTelemetryPhysicsBitIdentical pins the plane's core invariant:
 // telemetry observes a run, it never feeds back into it.  The same
-// supervised kill-schedule run with the journal, metrics and flight
-// recorder armed must produce bit-identical energies to the bare run.
+// supervised kill-schedule run with the journal, metrics, flight recorder
+// AND the model oracle armed must produce bit-identical energies to the
+// bare run — the oracle reads the trace recorder and the step counters
+// but touches neither physics nor virtual time.
 func TestTelemetryPhysicsBitIdentical(t *testing.T) {
 	run := func(withTelemetry bool) *md.Result {
+		spec := supervisedSpec(func(cp *md.Checkpoint) error { return nil })
 		if withTelemetry {
 			telemetry.SetEnabled(true)
 			telemetry.StartJournal(io.Discard, 64)
 			defer telemetry.StopJournal()
 			defer telemetry.SetEnabled(false)
+			spec.Oracle = oracle.New(oracle.Config{
+				Machine:          core.MachineFor(platform.J90(), spec.Sys.Gamma()),
+				Sys:              spec.Sys,
+				Cutoff:           harness.EffectiveCutoff,
+				UpdateEvery:      2,
+				Servers:          spec.Servers,
+				Window:           2,
+				RecalibrateEvery: 2,
+			})
 		}
-		out, err := harness.Run(supervisedSpec(func(cp *md.Checkpoint) error { return nil }))
+		out, err := harness.Run(spec)
 		if err != nil {
 			t.Fatal(err)
 		}
