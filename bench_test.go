@@ -13,6 +13,7 @@ import (
 	"opalperf/internal/core"
 	"opalperf/internal/decomp"
 	"opalperf/internal/expdesign"
+	"opalperf/internal/fault"
 	"opalperf/internal/forcefield"
 	"opalperf/internal/harness"
 	"opalperf/internal/md"
@@ -573,6 +574,62 @@ func BenchmarkSimKernelMessaging(b *testing.B) {
 		if err := sim.Run(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkScenarioThroughput measures end-to-end simulation throughput
+// in sims/sec over the scenario mix the level-of-detail layer targets: a
+// fault-free multi-step run with and without macro replay, plus a chaos
+// run (active fault plane) under -lod=auto where the static eligibility
+// gate must keep the run fine-grained without costing anything.  The
+// scenario is deliberately communication-dominated — a tiny complex, a
+// wide fleet and per-step pair-list refresh — because that is where the
+// event-level DES overhead lives; runs are lean (no trace recorder),
+// matching a parameter-sweep campaign.  The faultfree lod=off/lod=on
+// pair is the speedup the perf gate pins with perfdiff -min-ratio.
+func BenchmarkScenarioThroughput(b *testing.B) {
+	sys := molecule.TestComplex(2, 4, 9)
+	opts := md.Options{
+		Cutoff:          10,
+		UpdateEvery:     1,
+		Accounting:      true,
+		InitTemperature: 300,
+		Seed:            7,
+	}
+	const servers, steps = 8, 400
+	scenarios := []struct {
+		name   string
+		lod    md.LoDMode
+		faults *fault.Config
+	}{
+		{"mix=faultfree/lod=off", md.LoDOff, nil},
+		{"mix=faultfree/lod=on", md.LoDOn, nil},
+		{"mix=chaos/lod=auto", md.LoDAuto, &fault.Config{Seed: 11, DelayRate: 0.02, StragglerRate: 0.01}},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		runOpts := opts
+		runOpts.LoD = sc.lod
+		b.Run(sc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := pvm.NewSimVM(platform.J90(), nil)
+				if sc.faults != nil {
+					s.SetFaults(fault.NewPlan(*sc.faults))
+				}
+				var err error
+				s.SpawnRoot("opal-client", func(task pvm.Task) {
+					_, err = md.RunParallel(task, sys, runOpts, servers, steps)
+				})
+				if e := s.Run(); e != nil {
+					b.Fatal(e)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sims/s")
+		})
 	}
 }
 

@@ -68,6 +68,7 @@ func main() {
 		oracleOn   = flag.Bool("oracle", false, "arm the model-in-the-loop oracle: check each step window against the platform's analytic model, emit oracle_anomaly events and degrade /healthz on residual blowup")
 		oracleWin  = flag.Int("oracle-window", 5, "oracle evaluation window in steps (a multiple of -update keeps windows uniform)")
 		modelz     = flag.Bool("modelz", false, "print the oracle's end-of-run predicted-vs-measured report (requires -oracle); the live /modelz endpoint is served under -http")
+		lodFlag    = flag.String("lod", "", "level-of-detail macro replay: auto (on when the run is provably fault-free), on, off; default consults OPAL_LOD")
 	)
 	flag.Parse()
 
@@ -115,12 +116,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	lod, err := md.ParseLoDMode(*lodFlag)
+	if err != nil {
+		fatal(err)
+	}
 	opts := md.Options{
 		Cutoff:      *cutoff,
 		UpdateEvery: *update,
 		Strategy:    strat,
 		Accounting:  *accounting,
 		Minimize:    !*dynamics,
+		LoD:         lod,
 	}
 	if *heal {
 		if *servers <= 0 {

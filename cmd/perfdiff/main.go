@@ -10,10 +10,17 @@
 //   - Run journals (-journal): the run_end event's wall time of two JSONL
 //     journals is compared under the same relative tolerance.
 //
+// Besides the base/current comparison, repeatable -min-ratio flags assert
+// in-snapshot speedups on the CURRENT run ("SlowBench|FastBench|min"): the
+// gate fails unless slow ns/op / fast ns/op stays at or above min.  The
+// level-of-detail gate uses it to pin the macro-replay speedup without
+// depending on absolute host speed.
+//
 // Examples:
 //
 //	perfdiff BENCH_2026-08-06.json bench-now.json
 //	perfdiff -tol 0.5 -tol-for 'SimKernelMessaging=0.2' base.json new.json
+//	perfdiff -min-ratio 'Scenario/lod=off|Scenario/lod=on|5' base.json new.json
 //	perfdiff -journal base.jsonl new.jsonl
 //
 // Exit status: 0 when no benchmark regressed, 1 on regression, 2 on usage
@@ -48,6 +55,15 @@ type Snapshot struct {
 	GoArch  string   `json:"goarch,omitempty"`
 	Package string   `json:"package,omitempty"`
 	Results []Result `json:"results"`
+}
+
+// RatioCheck is an in-snapshot speedup assertion: benchmark Num's ns/op
+// divided by benchmark Den's ns/op must be at least Min.  The perf gate
+// uses it to pin the level-of-detail speedup — the LoD-off scenario must
+// stay at least Min times slower than the LoD-on one, whatever the host.
+type RatioCheck struct {
+	Num, Den string
+	Min      float64
 }
 
 // Options configure one diff.
@@ -135,6 +151,69 @@ func Diff(base, cur Snapshot, opt Options) (regressions, notes []string) {
 	return regressions, notes
 }
 
+// CheckRatios evaluates in-snapshot speedup assertions against cur,
+// returning one failure line per violated (or unevaluable) check and one
+// note per satisfied one.
+func CheckRatios(cur Snapshot, checks []RatioCheck) (failures, notes []string) {
+	by := map[string]Result{}
+	for _, r := range cur.Results {
+		by[r.Name] = r
+		by[strings.TrimPrefix(r.Name, "Benchmark")] = r
+	}
+	for _, c := range checks {
+		num, okN := by[c.Num]
+		den, okD := by[c.Den]
+		if !okN || !okD {
+			missing := c.Num
+			if okN {
+				missing = c.Den
+			}
+			failures = append(failures, fmt.Sprintf("ratio %s/%s: benchmark %s missing from current run", c.Num, c.Den, missing))
+			continue
+		}
+		if den.NsPerOp <= 0 {
+			failures = append(failures, fmt.Sprintf("ratio %s/%s: denominator has no ns/op", c.Num, c.Den))
+			continue
+		}
+		ratio := num.NsPerOp / den.NsPerOp
+		if ratio < c.Min {
+			failures = append(failures, fmt.Sprintf(
+				"ratio %s/%s = %.2fx, below required %.2fx", c.Num, c.Den, ratio, c.Min))
+		} else {
+			notes = append(notes, fmt.Sprintf(
+				"ratio %s/%s = %.2fx (>= %.2fx)", c.Num, c.Den, ratio, c.Min))
+		}
+	}
+	return failures, notes
+}
+
+// parseRatioChecks parses repeated "Num|Den|Min" -min-ratio values.
+func parseRatioChecks(vals []string) ([]RatioCheck, error) {
+	var out []RatioCheck
+	for _, v := range vals {
+		parts := strings.Split(v, "|")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad ratio check %q (want 'SlowBench|FastBench|minRatio')", v)
+		}
+		min, err := strconv.ParseFloat(strings.TrimSpace(parts[2]), 64)
+		if err != nil || min <= 0 {
+			return nil, fmt.Errorf("bad ratio check %q: minimum must be a positive number", v)
+		}
+		out = append(out, RatioCheck{
+			Num: strings.TrimSpace(parts[0]),
+			Den: strings.TrimSpace(parts[1]),
+			Min: min,
+		})
+	}
+	return out, nil
+}
+
+// stringList collects a repeatable string flag.
+type stringList []string
+
+func (s *stringList) String() string     { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
+
 // journalWall extracts the run_end wall time from a JSONL run journal.
 // With several run_end events (restart-stitched journals) the last one
 // wins.
@@ -216,7 +295,9 @@ func main() {
 		allocSlack = flag.Int64("alloc-slack", 2, "absolute allocs/op allowance on top of -alloc-tol (amortized one-time allocations jitter by a count or two)")
 		tolFor     = flag.String("tol-for", "", "per-benchmark overrides, e.g. 'SimKernelMessaging=0.2,Fig1Breakdown=0.5'")
 		journal    = flag.Bool("journal", false, "inputs are JSONL run journals; compare run_end wall times")
+		minRatios  stringList
 	)
+	flag.Var(&minRatios, "min-ratio", "in-snapshot speedup assertion 'SlowBench|FastBench|minRatio' on the CURRENT run's ns/op (repeatable)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: perfdiff [flags] BASE CURRENT\n")
 		flag.PrintDefaults()
@@ -259,7 +340,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	checks, err := parseRatioChecks(minRatios)
+	if err != nil {
+		fatal(err)
+	}
 	regressions, notes := Diff(base, cur, Options{Tol: *tol, AllocTol: *allocTol, AllocSlack: *allocSlack, PerBench: perBench})
+	ratioFails, ratioNotes := CheckRatios(cur, checks)
+	regressions = append(regressions, ratioFails...)
+	notes = append(notes, ratioNotes...)
 	for _, n := range notes {
 		fmt.Println("perfdiff: note:", n)
 	}

@@ -147,3 +147,40 @@ func TestParsePerBench(t *testing.T) {
 		t.Fatal("malformed override must error")
 	}
 }
+
+func TestCheckRatios(t *testing.T) {
+	cur := snap(
+		Result{Name: "BenchmarkScenario/lod=off", NsPerOp: 6000},
+		Result{Name: "BenchmarkScenario/lod=on", NsPerOp: 1000},
+	)
+	checks := []RatioCheck{{Num: "Scenario/lod=off", Den: "Scenario/lod=on", Min: 5}}
+	fails, notes := CheckRatios(cur, checks)
+	if len(fails) != 0 {
+		t.Fatalf("6x speedup failed a 5x floor: %v", fails)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "6.00x") {
+		t.Fatalf("satisfied ratio not noted: %v", notes)
+	}
+	checks[0].Min = 8
+	fails, _ = CheckRatios(cur, checks)
+	if len(fails) != 1 || !strings.Contains(fails[0], "below required") {
+		t.Fatalf("6x speedup passed an 8x floor: %v", fails)
+	}
+	checks[0].Num = "Missing"
+	fails, _ = CheckRatios(cur, checks)
+	if len(fails) != 1 || !strings.Contains(fails[0], "missing") {
+		t.Fatalf("missing benchmark not flagged: %v", fails)
+	}
+}
+
+func TestParseRatioChecks(t *testing.T) {
+	checks, err := parseRatioChecks([]string{" A | B | 5 "})
+	if err != nil || len(checks) != 1 || checks[0] != (RatioCheck{Num: "A", Den: "B", Min: 5}) {
+		t.Fatalf("parse: %v %v", checks, err)
+	}
+	for _, bad := range []string{"A|B", "A|B|zero", "A|B|-1"} {
+		if _, err := parseRatioChecks([]string{bad}); err == nil {
+			t.Fatalf("%q parsed without error", bad)
+		}
+	}
+}

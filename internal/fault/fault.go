@@ -139,6 +139,17 @@ func NewPlan(cfg Config) *Plan {
 // Stats returns the counts of faults injected so far.
 func (p *Plan) Stats() Stats { return p.stats }
 
+// FaultFree reports whether the plan provably injects nothing: with all
+// rates zero every hook returns before drawing from the pseudo-random
+// stream, so the plan is indistinguishable from no plan at all.  The
+// kernel consults this (via vm.Kernel.FaultFree) to decide whether
+// level-of-detail macro replay may skip the per-event fault hooks.
+func (p *Plan) FaultFree() bool {
+	c := p.cfg
+	return c.DropRate <= 0 && c.DupRate <= 0 && c.DelayRate <= 0 &&
+		c.CrashRate <= 0 && c.StragglerRate <= 0
+}
+
 // Config returns the plan's (defaulted) configuration.
 func (p *Plan) Config() Config { return p.cfg }
 

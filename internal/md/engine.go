@@ -146,6 +146,12 @@ type Options struct {
 	// Checkpoint resumes set it so that periodic checkpoints captured in
 	// a resumed run carry trajectory-absolute step numbers.
 	StartStep int
+	// LoD selects level-of-detail macro replay for the parallel engine's
+	// RPC phases (see LoDMode): fault-free phases replayed analytically
+	// on the client's goroutine, bit-identical physics and Stats, an
+	// order of magnitude fewer kernel events.  LoDDefault consults the
+	// OPAL_LOD environment variable and is off when it is unset.
+	LoD LoDMode
 }
 
 func (o Options) withDefaults() Options {

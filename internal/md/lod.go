@@ -1,0 +1,130 @@
+package md
+
+// Level-of-detail (LoD) plumbing for the parallel engine.  With LoD
+// enabled the Sciddle connection replays each fault-free RPC phase as
+// analytic macro-events (internal/pvm/macro.go): the servers' handlers
+// run in-process on the client's goroutine and the whole fan-out is
+// charged closed-form, skipping every goroutine handoff and message
+// allocation of fine-grained execution while producing bit-identical
+// clocks, energies and Stats breakdowns.  The phase profile — resolved
+// dispatch entries, request buffers, exec closures, timeline arrays —
+// is memoized per (fleet, phase shape) inside the connection, so the
+// steady state runs without registry lookups or heap allocation.
+//
+// Fallback ladder, most detailed first: any window needing event-level
+// replay (active fault plane, administrative kill step, non-quiescent
+// kernel, unregistered dispatcher, non-simulated fabric) automatically
+// runs fine-grained; macro replay is a pure performance choice.
+
+import (
+	"fmt"
+	"os"
+
+	"opalperf/internal/pvm"
+	"opalperf/internal/sciddle"
+)
+
+// LoDMode selects how the parallel engine uses level-of-detail macro
+// replay (Options.LoD).
+type LoDMode int
+
+const (
+	// LoDDefault consults the OPAL_LOD environment variable ("off",
+	// "auto" or "on"); unset or empty means LoDOff.
+	LoDDefault LoDMode = iota
+	// LoDOff runs every phase fine-grained.
+	LoDOff
+	// LoDAuto enables macro replay when the run can provably use it:
+	// the simulated fabric with an inert fault plane.  Individual phases
+	// still fall back to fine-grained replay whenever eligibility is
+	// lost (kill windows, heal epochs).
+	LoDAuto
+	// LoDOn requests macro replay unconditionally.  On runs that cannot
+	// replay — real transports, an active fault plane — every phase
+	// falls back by itself, so results are unchanged either way.
+	LoDOn
+)
+
+// ParseLoDMode parses the textual LoD modes accepted by the OPAL_LOD
+// environment variable and the opal -lod flag.
+func ParseLoDMode(s string) (LoDMode, error) {
+	switch s {
+	case "", "default":
+		return LoDDefault, nil
+	case "off":
+		return LoDOff, nil
+	case "auto":
+		return LoDAuto, nil
+	case "on":
+		return LoDOn, nil
+	}
+	return LoDOff, fmt.Errorf("md: unknown LoD mode %q (want off, auto or on)", s)
+}
+
+func (m LoDMode) String() string {
+	switch m {
+	case LoDDefault:
+		return "default"
+	case LoDOff:
+		return "off"
+	case LoDAuto:
+		return "auto"
+	case LoDOn:
+		return "on"
+	}
+	return fmt.Sprintf("LoDMode(%d)", int(m))
+}
+
+// resolve folds LoDDefault into a concrete mode via OPAL_LOD.
+func (m LoDMode) resolve() LoDMode {
+	if m != LoDDefault {
+		return m
+	}
+	if env, err := ParseLoDMode(os.Getenv("OPAL_LOD")); err == nil && env != LoDDefault {
+		return env
+	}
+	return LoDOff
+}
+
+// wantMacro reports whether the run should construct its services
+// client-side and register in-process dispatchers at all.
+func (m LoDMode) wantMacro(t pvm.Task) bool {
+	switch m.resolve() {
+	case LoDOn:
+		return true
+	case LoDAuto:
+		return pvm.MacroCapable(t)
+	}
+	return false
+}
+
+// newLoDServices builds one service table + handler pair per server
+// rank, created on the client before the spawn so the Serve loops and
+// the macro dispatchers share handler state.
+func newLoDServices(n int) []*sciddle.Service {
+	svcs := make([]*sciddle.Service, n)
+	for i := range svcs {
+		svcs[i], _ = newOpalService()
+	}
+	return svcs
+}
+
+// registerDirect records svc's in-process dispatcher for server tid.
+// False means the fabric cannot macro-replay (not simulated) and the
+// run stays fine-grained.
+func registerDirect(t pvm.Task, tid int, svc *sciddle.Service) bool {
+	return pvm.RegisterDirect(t, tid, pvm.DirectEntry{
+		Obj:      svc,
+		Dispatch: sciddle.DirectDispatcher(svc),
+	})
+}
+
+// registerDirects registers the whole fleet; false on the first failure.
+func registerDirects(t pvm.Task, tids []int, svcs []*sciddle.Service) bool {
+	for i, tid := range tids {
+		if !registerDirect(t, tid, svcs[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -46,15 +46,29 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 		return nil, err
 	}
 	parties := nservers + 1
+	// With LoD wanted, the services are constructed client-side before the
+	// spawn: the spawned Serve loops and the in-process macro dispatchers
+	// must share the same handler objects (see lod.go).
+	var svcs []*sciddle.Service
+	if opts.LoD.wantMacro(t) {
+		svcs = newLoDServices(nservers)
+	}
 	tids := t.Spawn("opal-server", nservers, func(st pvm.Task) {
 		var quit <-chan struct{}
 		if opts.ServerQuit != nil {
 			quit = opts.ServerQuit(st.Instance())
 		}
-		ServeOpalOpts(st, sciddle.ServeOptions{Accounting: accounting, Parties: parties, Quit: quit})
+		opt := sciddle.ServeOptions{Accounting: accounting, Parties: parties, Quit: quit}
+		if svcs != nil {
+			sciddle.Serve(st, svcs[st.Instance()], opt)
+		} else {
+			ServeOpalOpts(st, opt)
+		}
 	})
+	lod := svcs != nil && registerDirects(t, tids, svcs)
 	conn := sciddle.Connect(t, tids)
 	conn.SetAccounting(accounting)
+	conn.SetLoD(lod)
 	if ft {
 		conn.SetCallTimeout(opts.CallTimeout, opts.CallRetries)
 	}
@@ -70,13 +84,25 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 			Width:       nservers,
 			MaxRespawns: opts.MaxRespawns,
 			Spawn: func(k int) int {
+				var svc *sciddle.Service
+				if lod {
+					svc, _ = newOpalService()
+				}
 				rtids := t.Spawn("opal-server", 1, func(st pvm.Task) {
 					var quit <-chan struct{}
 					if opts.ServerQuit != nil {
 						quit = opts.ServerQuit(nservers + k)
 					}
-					ServeOpalOpts(st, sciddle.ServeOptions{Parties: parties, Quit: quit})
+					opt := sciddle.ServeOptions{Parties: parties, Quit: quit}
+					if svc != nil {
+						sciddle.Serve(st, svc, opt)
+					} else {
+						ServeOpalOpts(st, opt)
+					}
 				})
+				if svc != nil {
+					registerDirect(t, rtids[0], svc)
+				}
 				return rtids[0]
 			},
 		})
@@ -269,7 +295,14 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 		// before the step's phases; the supervisor heals each one.  The
 		// victim task idles until the shutdown handshake stops it.
 		if opts.Kills != nil {
-			for _, rank := range opts.Kills(step) {
+			kills := opts.Kills(step)
+			if len(kills) > 0 {
+				// A kill window needs event-level detail: the victim's
+				// last parked state, the replacement's spawn and the heal
+				// RPCs all run fine-grained, and so do this step's phases.
+				conn.SuspendLoD()
+			}
+			for _, rank := range kills {
 				if rank < 0 || rank >= conn.NumServers() {
 					continue
 				}
@@ -343,6 +376,7 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 			}
 		}
 		res.Steps = append(res.Steps, fin)
+		conn.ResumeLoD()
 		telemetry.MDSteps.Add(1)
 		telemetry.MDStepSeconds.Observe(t.Now() - stepT0)
 		if ckpt.due(step + 1) {

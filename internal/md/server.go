@@ -35,9 +35,20 @@ func ServeOpal(t pvm.Task, accounting bool, parties int) {
 // in particular the cooperative Quit switch chaos tests use to kill live
 // servers.
 func ServeOpalOpts(t pvm.Task, opt sciddle.ServeOptions) {
-	svc := sciddle.NewService("Opal")
-	opalrpc.RegisterOpal(svc, &opalServer{})
+	svc, _ := newOpalService()
 	sciddle.Serve(t, svc, opt)
+}
+
+// newOpalService builds one Opal server's service table and handler
+// state.  The parallel client constructs these before spawning when
+// level-of-detail replay is wanted: the spawned Serve loop and the
+// in-process macro dispatcher must share the same objects so server
+// state stays consistent whichever path executes a call.
+func newOpalService() (*sciddle.Service, *opalServer) {
+	svc := sciddle.NewService("Opal")
+	h := &opalServer{}
+	opalrpc.RegisterOpal(svc, h)
+	return svc, h
 }
 
 // Init receives the replicated global data (Section 2.6: the solute-solute,

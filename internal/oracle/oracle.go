@@ -412,4 +412,3 @@ func (o *Oracle) Refit() *core.Report {
 	defer o.mu.Unlock()
 	return o.refit
 }
-

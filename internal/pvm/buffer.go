@@ -55,7 +55,7 @@ type item struct {
 	i64  int64
 }
 
-func (it item) bytes() int {
+func (it *item) bytes() int {
 	const header = 4 // per-item type/length header, as a real wire format would carry
 	switch it.kind {
 	case kindF64s:
@@ -134,14 +134,24 @@ func (b *Buffer) slot(kind itemKind) *item {
 // the communication cost model.
 func (b *Buffer) Bytes() int {
 	n := 0
-	for _, it := range b.items {
-		n += it.bytes()
+	for i := range b.items {
+		n += b.items[i].bytes()
 	}
 	return n
 }
 
 // Items returns the number of packed items.
 func (b *Buffer) Items() int { return len(b.items) }
+
+// Rewind resets the unpack cursor to the first item without clearing the
+// contents — the state a point-to-point receiver on the simulated fabric
+// sees after delivery.  The level-of-detail macro replay uses it to hand
+// a freshly packed request to an in-process handler, and the handler's
+// reply back to the client, without a fabric round-trip.
+func (b *Buffer) Rewind() *Buffer {
+	b.pos = 0
+	return b
+}
 
 // Reader returns a fresh unpack cursor over the same (immutable) items,
 // so a multicast buffer can be unpacked independently by every receiver.

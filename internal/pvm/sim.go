@@ -20,6 +20,15 @@ type SimVM struct {
 	Platform *platform.Platform
 	Recorder *trace.Recorder
 	tasks    []*simTask
+	// taskByID indexes tasks by proc ID (dense, 0-based) for the O(1)
+	// lookups of the macro replay hot path.
+	taskByID []*simTask
+	// directs maps a server TID to its in-process dispatch entry and
+	// macro holds the reusable scratch of the level-of-detail replay
+	// engine (see macro.go).  Both are touched only while one process
+	// holds the execution token, so they need no synchronization.
+	directs map[int]DirectEntry
+	macro   macroEngine
 }
 
 // NewSimVM creates a session for the given platform.  rec may be nil to
@@ -55,8 +64,19 @@ func (s *SimVM) SpawnRoot(name string, fn func(Task)) int {
 		fn(t)
 	})
 	t.mon = hpm.NewMonitor(s.Platform.Weights)
-	s.tasks = append(s.tasks, t)
+	s.register(t)
 	return t.proc.ID()
+}
+
+// register records a new task in both the creation-order list and the
+// dense by-ID index.
+func (s *SimVM) register(t *simTask) {
+	s.tasks = append(s.tasks, t)
+	id := t.proc.ID()
+	for len(s.taskByID) <= id {
+		s.taskByID = append(s.taskByID, nil)
+	}
+	s.taskByID[id] = t
 }
 
 // Run executes the session to completion.
@@ -67,12 +87,18 @@ func (s *SimVM) Time() float64 { return s.Kernel.MaxTime() }
 
 // Task returns the task with the given TID, or nil.
 func (s *SimVM) Task(tid int) Task {
-	for _, t := range s.tasks {
-		if t.proc.ID() == tid {
-			return t
-		}
+	if t := s.task(tid); t != nil {
+		return t
 	}
 	return nil
+}
+
+// task is the concrete-typed lookup used by the macro replay hot path.
+func (s *SimVM) task(tid int) *simTask {
+	if tid < 0 || tid >= len(s.taskByID) {
+		return nil
+	}
+	return s.taskByID[tid]
 }
 
 type simTask struct {
@@ -180,7 +206,7 @@ func (t *simTask) Spawn(name string, n int, fn func(Task)) []int {
 		// The proc exists as soon as Spawn returns, before the child
 		// first runs, so the TID is immediately usable.
 		c.proc = t.vm.Kernel.Proc(id)
-		t.vm.tasks = append(t.vm.tasks, c)
+		t.vm.register(c)
 		tids[i] = id
 	}
 	return tids

@@ -1,0 +1,230 @@
+package sciddle
+
+// Level-of-detail (LoD) support: when enabled on a connection, the packed
+// call-phase paths first try to replay the whole phase as analytic
+// macro-events through pvm.MacroPhase — running the servers' handlers
+// in-process on shared state and charging the exact fine-grained timeline
+// closed-form — and fall back to ordinary message-passing execution
+// whenever the phase is not provably macro-safe.  Method statistics,
+// telemetry and flow records are replicated bit-identically either way.
+
+import (
+	"fmt"
+
+	"opalperf/internal/pvm"
+	"opalperf/internal/telemetry"
+)
+
+// DirectDispatcher returns an in-process dispatch function for svc,
+// suitable as pvm.DirectEntry.Dispatch.  It consumes a request buffer
+// with the standard Sciddle header (call id, method) exactly as the
+// Serve loop would after delivery, runs the handler on the server's
+// task, and returns the (possibly void) reply.  The code that spawns a
+// server with Serve(t, svc, ...) should register the dispatcher built
+// from the *same* svc, so handler state is shared whichever path runs.
+func DirectDispatcher(svc *Service) func(st pvm.Task, req *pvm.Buffer) *pvm.Buffer {
+	var voidReply *pvm.Buffer
+	// Steady-state phases repeat the same method thousands of times, so a
+	// one-entry handler cache removes the map lookup from the hot path.
+	var lastMethod string
+	var lastHandler Handler
+	return func(st pvm.Task, req *pvm.Buffer) *pvm.Buffer {
+		if _, err := req.UnpackInt(); err != nil { // call id
+			panic(fmt.Sprintf("sciddle: malformed request: %v", err))
+		}
+		method, err := req.UnpackString()
+		if err != nil {
+			panic(fmt.Sprintf("sciddle: malformed request: %v", err))
+		}
+		if method == methodStop {
+			panic("sciddle: stop requests are never macro-dispatched")
+		}
+		h := lastHandler
+		if method != lastMethod || h == nil {
+			h = svc.handlers[method]
+			if h == nil {
+				panic(fmt.Sprintf("sciddle: service %s has no method %q", svc.Name, method))
+			}
+			lastMethod, lastHandler = method, h
+		}
+		reply := h(st, req)
+		if reply == nil {
+			if voidReply == nil {
+				voidReply = pvm.NewBuffer()
+			}
+			reply = voidReply.Reset()
+		}
+		return reply
+	}
+}
+
+// SetLoD toggles level-of-detail macro replay for this connection's
+// packed call phases.  It is a pure performance hint: every phase is
+// verified eligible (simulated fabric, inert fault plane, quiescent
+// kernel, all servers parked with registered dispatchers) before being
+// replayed, and runs fine-grained otherwise, with identical results.
+//
+// In accounting mode the choice latches at the first phase: macro-skipped
+// phases do not advance the servers' barrier parity, so a run must be
+// all-macro or all-fine.  If the first phase cannot replay, LoD turns
+// itself off for the connection; if it can, a later ineligible phase —
+// impossible in the steady single-client topology — panics rather than
+// desynchronize the barriers.
+func (c *Conn) SetLoD(on bool) { c.lod = on }
+
+// LoD reports whether macro replay is enabled.
+func (c *Conn) LoD() bool { return c.lod }
+
+// SuspendLoD forces fine-grained execution until ResumeLoD: windows that
+// need event-level detail — an administrative kill schedule, a heal
+// epoch boundary — run every phase through real message passing.  Each
+// packed phase executed while suspended counts as a LoD fallback.
+// No-op when LoD is off.
+func (c *Conn) SuspendLoD() {
+	if c.lod {
+		c.lod, c.lodSusp = false, true
+	}
+}
+
+// ResumeLoD re-enables macro replay after SuspendLoD.
+func (c *Conn) ResumeLoD() {
+	if c.lodSusp {
+		c.lod, c.lodSusp = true, false
+	}
+}
+
+// macroPhasePacked attempts to replay one packed call phase as
+// macro-events.  On false, nothing observable has happened and the
+// caller must run the phase fine-grained.
+func (c *Conn) macroPhasePacked(method string, pack func(i int, args *pvm.Buffer)) ([]*pvm.Buffer, bool) {
+	n := len(c.servers)
+	if n == 0 {
+		return nil, false
+	}
+	c.ensurePhaseScratch()
+	for len(c.macroExecs) < n {
+		i := len(c.macroExecs)
+		c.macroExecs = append(c.macroExecs, func(st pvm.Task) int {
+			rep := c.macroEntries[i].Dispatch(st, c.reqBufs[i].Rewind())
+			c.replies[i] = rep.Rewind()
+			return rep.Bytes()
+		})
+	}
+	// The dispatch entries are memoized per fleet: in the steady state the
+	// server set is stable across thousands of phases, so the per-server
+	// registry lookups run once per fleet epoch (Connect, DropServer,
+	// ReplaceServer all change the slice contents and miss the memo).
+	if !intsEqual(c.macroFleet, c.servers) {
+		c.macroEntries = c.macroEntries[:0]
+		for _, tid := range c.servers {
+			entry, ok := pvm.DirectOf(c.t, tid)
+			if !ok {
+				c.macroFleet = c.macroFleet[:0]
+				return nil, false
+			}
+			c.macroEntries = append(c.macroEntries, entry)
+		}
+		c.macroFleet = append(c.macroFleet[:0], c.servers...)
+	}
+	c.macroCalls = c.macroCalls[:0]
+	seq0 := c.seq
+	for i := range c.servers {
+		req := c.reqBufs[i].Reset()
+		callID := c.seq
+		c.seq++
+		c.callIDs[i] = callID
+		req.PackInt(callID).PackString(method)
+		if pack != nil {
+			pack(i, req)
+		}
+		c.macroCalls = append(c.macroCalls, pvm.MacroCall{
+			Server:   c.servers[i],
+			ReqBytes: req.Bytes(),
+			Exec:     c.macroExecs[i],
+		})
+	}
+	if !pvm.MacroPhase(c.t, c.macroCalls, c.accounting, n+1, &c.macroTimes) {
+		c.seq = seq0
+		return nil, false
+	}
+	// Replicate the fine-grained bookkeeping of CallPhasePacked from the
+	// replayed timeline: send-side stats in call order, then the two
+	// phase barriers (already charged by the engine), then receive-side
+	// stats, latencies and flows in collection order.
+	st := c.stat(method)
+	mt := &c.macroTimes
+	for i := range c.servers {
+		st.TCall += mt.SendEnd[i] - mt.Issue[i]
+		st.Calls++
+		st.BytesOut += c.macroCalls[i].ReqBytes
+		st.tBytesOut.Add(uint64(c.macroCalls[i].ReqBytes))
+	}
+	if c.accounting {
+		c.phase++
+	}
+	for i := range c.servers {
+		st.TReturn += mt.Collect[i] - mt.RecvStart[i]
+		st.BytesIn += mt.RepBytes[i]
+		st.tBytesIn.Add(uint64(mt.RepBytes[i]))
+		st.tLat.Observe(mt.Collect[i] - mt.Issue[i])
+		pvm.ReportFlow(c.t, method, c.servers[i], mt.Issue[i], mt.Collect[i])
+	}
+	telemetry.LoDMacroPhases.Add(1)
+	return c.replies, true
+}
+
+// tryMacroPhase wraps macroPhasePacked with the accounting latch
+// described at SetLoD.
+func (c *Conn) tryMacroPhase(method string, pack func(i int, args *pvm.Buffer)) ([]*pvm.Buffer, bool) {
+	if !c.lod {
+		if c.lodSusp {
+			telemetry.LoDFallbackPhases.Add(1)
+		}
+		return nil, false
+	}
+	replies, ok := c.macroPhasePacked(method, pack)
+	if ok {
+		if c.accounting {
+			c.macroAcct = true
+		}
+		return replies, true
+	}
+	telemetry.LoDFallbackPhases.Add(1)
+	if c.accounting {
+		if c.macroAcct {
+			panic("sciddle: lod: accounting phase lost macro eligibility mid-run; a fine-grained phase would desynchronize the barrier parity")
+		}
+		// First phase already needs the fine path: stay fine-grained for
+		// the whole connection so barrier parities agree.
+		c.lod = false
+	}
+	return nil, false
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ensurePhaseScratch sizes the per-server scratch shared by the packed
+// phase paths (fine-grained and macro).
+func (c *Conn) ensurePhaseScratch() {
+	for len(c.reqBufs) < len(c.servers) {
+		c.reqBufs = append(c.reqBufs, pvm.NewBuffer())
+	}
+	if cap(c.callIDs) < len(c.servers) {
+		c.callIDs = make([]int, len(c.servers))
+		c.callT0s = make([]float64, len(c.servers))
+		c.replies = make([]*pvm.Buffer, len(c.servers))
+	}
+	c.callIDs = c.callIDs[:len(c.servers)]
+	c.callT0s = c.callT0s[:len(c.servers)]
+	c.replies = c.replies[:len(c.servers)]
+}

@@ -257,6 +257,16 @@ type Conn struct {
 	callIDs []int
 	callT0s []float64 // per-server issue times for the latency histogram
 	replies []*pvm.Buffer
+	// Level-of-detail state (see lod.go): macro replay enabled, the
+	// accounting latch, and reusable macro-call scratch.
+	lod          bool
+	lodSusp      bool
+	macroAcct    bool
+	macroFleet   []int // fleet the memoized entries were resolved for
+	macroCalls   []pvm.MacroCall
+	macroEntries []pvm.DirectEntry
+	macroExecs   []func(pvm.Task) int
+	macroTimes   pvm.MacroTimes
 }
 
 // Connect builds a connection from a client task to its servers.
@@ -531,17 +541,10 @@ func (c *Conn) CallPhase(method string, args func(i int) *pvm.Buffer) []*pvm.Buf
 // its phase-k request before it sends the phase-k reply, and the client
 // holds all phase-k replies before starting phase k+1.
 func (c *Conn) CallPhasePacked(method string, pack func(i int, args *pvm.Buffer)) []*pvm.Buffer {
-	for len(c.reqBufs) < len(c.servers) {
-		c.reqBufs = append(c.reqBufs, pvm.NewBuffer())
+	if replies, ok := c.tryMacroPhase(method, pack); ok {
+		return replies
 	}
-	if cap(c.callIDs) < len(c.servers) {
-		c.callIDs = make([]int, len(c.servers))
-		c.callT0s = make([]float64, len(c.servers))
-		c.replies = make([]*pvm.Buffer, len(c.servers))
-	}
-	c.callIDs = c.callIDs[:len(c.servers)]
-	c.callT0s = c.callT0s[:len(c.servers)]
-	c.replies = c.replies[:len(c.servers)]
+	c.ensurePhaseScratch()
 	st := c.stat(method)
 	for i := range c.servers {
 		req := c.reqBufs[i].Reset()
@@ -592,17 +595,10 @@ func (c *Conn) CallPhasePackedErr(method string, pack func(i int, args *pvm.Buff
 	if c.accounting {
 		panic("sciddle: CallPhasePackedErr is incompatible with accounting mode")
 	}
-	for len(c.reqBufs) < len(c.servers) {
-		c.reqBufs = append(c.reqBufs, pvm.NewBuffer())
+	if replies, ok := c.tryMacroPhase(method, pack); ok {
+		return replies, nil
 	}
-	if cap(c.callIDs) < len(c.servers) {
-		c.callIDs = make([]int, len(c.servers))
-		c.callT0s = make([]float64, len(c.servers))
-		c.replies = make([]*pvm.Buffer, len(c.servers))
-	}
-	c.callIDs = c.callIDs[:len(c.servers)]
-	c.callT0s = c.callT0s[:len(c.servers)]
-	c.replies = c.replies[:len(c.servers)]
+	c.ensurePhaseScratch()
 	st := c.stat(method)
 	for i := range c.servers {
 		req := c.reqBufs[i].Reset()

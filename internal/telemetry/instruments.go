@@ -42,6 +42,12 @@ var (
 	// Fault injection plane, split by kind.
 	FaultsInjected = Default.CounterVec("opal_faults_injected_total", "Faults injected, by kind.", "kind")
 
+	// Level-of-detail plane: phases replayed as analytic macro-events vs
+	// phases that fell back to fine-grained execution (fault plane
+	// active, kill window, non-quiescent kernel, missing dispatcher).
+	LoDMacroPhases    = Default.Counter("opal_lod_macro_phases_total", "RPC phases replayed as analytic macro-events.")
+	LoDFallbackPhases = Default.Counter("opal_lod_fallback_phases_total", "RPC phases that wanted macro replay but ran fine-grained.")
+
 	// Journal plane.
 	JournalDropped = Default.Counter("opal_journal_dropped_total", "Journal events dropped from the JSONL stream by the byte cap.")
 

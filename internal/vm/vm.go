@@ -225,6 +225,10 @@ type Proc struct {
 	state   procState
 	resume  chan struct{}
 	mailbox []*Message
+	// Ready-queue bookkeeping: index into Kernel.ready (-1 when not
+	// enqueued) and the cached scheduling key while enqueued.
+	heapIdx int
+	key     Time
 	// Receive matching: either a predicate closure (Recv) or an inline
 	// (src, tag) pair (RecvSrcTag), the latter so the common pvm_recv
 	// shape allocates nothing.
@@ -287,6 +291,51 @@ func (p *Proc) Compute(flops float64) {
 	p.Elapse(dt, SegCompute)
 }
 
+// Span is one contiguous slice of virtual time with a classification,
+// used by ElapseSpan to charge a precomputed multi-segment timeline.
+type Span struct {
+	D    float64
+	Kind SegKind
+}
+
+// ElapseSpan advances the local clock through a precomputed sequence of
+// contiguous segments in one call, with per-kind Stats accounting exactly
+// as if each segment had been charged through Elapse individually.  This
+// is the macro-event primitive of the level-of-detail layer: an entire
+// analytically-derived phase (idle wait, channel occupancy, compute,
+// synchronization) lands on the timeline without a single scheduler
+// round-trip.
+//
+// Like Barrier release, ElapseSpan (and Elapse) may also be invoked on a
+// quiesced, receive-blocked process by whichever process currently holds
+// the execution token — the macro replay layer in pvm uses this to
+// position server clocks from the client's goroutine.
+func (p *Proc) ElapseSpan(spans ...Span) {
+	for _, s := range spans {
+		p.Elapse(s.D, s.Kind)
+	}
+}
+
+// AccountSend adds n sent messages totalling bytes to the process's
+// Stats counters without touching the timeline.  Macro replay layers use
+// it to keep message accounting bit-identical to fine-grained execution
+// when no Message objects are materialized.
+func (p *Proc) AccountSend(n, bytes int) {
+	p.stats.MsgsSent += n
+	p.stats.BytesSent += bytes
+}
+
+// AccountRecv is the receive-side counterpart of AccountSend.
+func (p *Proc) AccountRecv(n, bytes int) {
+	p.stats.MsgsRecv += n
+	p.stats.BytesRecv += bytes
+}
+
+// Waiting reports whether the process is blocked in a receive — the
+// state a quiesced RPC server parks in between phases.  Macro replay
+// layers use it to verify a fleet is safe to advance analytically.
+func (p *Proc) Waiting() bool { return p.state == stateRecv }
+
 // Elapse advances the local clock by d seconds classified as kind.
 func (p *Proc) Elapse(d float64, kind SegKind) {
 	if d < 0 {
@@ -320,8 +369,12 @@ func (p *Proc) Send(dst, tag int, payload any, bytes int) {
 		panic(fmt.Sprintf("vm: send to unknown proc %d", dst))
 	}
 	// Re-enter through the scheduler at our current time so that sends
-	// from processes with earlier clocks hit the channel first.
-	p.yield()
+	// from processes with earlier clocks hit the channel first.  When no
+	// other process could be scheduled before us (the common steady-state
+	// case), the round-trip is provably a no-op and is skipped.
+	if !p.k.soleRunnable(p) {
+		p.yield()
+	}
 	busy, latency := 0.0, 0.0
 	if p.k.comm != nil {
 		busy, latency = p.k.comm.SendCost(p.id, dst, bytes)
@@ -363,6 +416,29 @@ func (p *Proc) Send(dst, tag int, payload any, bytes int) {
 		seq:     p.k.nextSeq(),
 	}
 	q.mailbox = append(q.mailbox, m)
+	p.k.noteArrival(q, m)
+}
+
+// noteArrival updates the ready queue after m was appended to q's
+// mailbox: a receive-blocked process whose criterion matches becomes
+// runnable at max(local time, arrival).  A later message can only carry
+// a larger sequence number, so an already-enqueued receiver's key can
+// only decrease.
+func (k *Kernel) noteArrival(q *Proc, m *Message) {
+	if q.state != stateRecv || !q.matches(m) {
+		return
+	}
+	key := q.now
+	if m.Arrival > key {
+		key = m.Arrival
+	}
+	if q.heapIdx >= 0 {
+		if key < q.key {
+			k.heapDecrease(q, key)
+		}
+		return
+	}
+	k.heapPush(q, key)
 }
 
 // MatchAny matches every message.
@@ -406,11 +482,28 @@ func (p *Proc) matches(m *Message) bool {
 
 func (p *Proc) recvWait() *Message {
 	p.state = stateRecv
-	p.yield()
-	// The kernel has selected our earliest matching message and stored it
-	// in p.got before resuming us.
-	m := p.got
-	p.got = nil
+	// Fast path: a matching message is already queued and no other
+	// process would be scheduled before this one at the delivery key, so
+	// handing the token back would provably resume us immediately.
+	var m *Message
+	if best, ok := earliestMatch(p); ok {
+		key := p.now
+		if best.Arrival > key {
+			key = best.Arrival
+		}
+		if p.k.soleRunnableAt(p, key) {
+			p.removeMessage(best)
+			p.state = stateRunning
+			m = best
+		}
+	}
+	if m == nil {
+		p.yield()
+		// The kernel has selected our earliest matching message and
+		// stored it in p.got before resuming us.
+		m = p.got
+		p.got = nil
+	}
 	p.match = nil
 	if m == nil {
 		panic("vm: resumed from recv without a message")
@@ -500,6 +593,7 @@ func (p *Proc) Barrier(key string, parties int) {
 		q.now = release + sync
 		if q != p {
 			q.state = stateReady
+			p.k.heapPush(q, q.now)
 		}
 	}
 	delete(p.k.barriers, key)
@@ -513,6 +607,7 @@ func (p *Proc) Spawn(name string, compute ComputeModel, fn func(*Proc)) int {
 	q := p.k.addProc(name, compute, fn)
 	q.now = p.now
 	p.k.startProc(q)
+	p.k.heapPush(q, q.now)
 	return q.id
 }
 
@@ -540,6 +635,11 @@ type Kernel struct {
 	seq      uint64
 	barriers map[string]*barrier
 	running  bool
+	// ready is an indexed min-heap over runnable processes keyed by
+	// (scheduling time, id); nDone counts finished processes so the run
+	// loop never rescans k.procs.
+	ready []*Proc
+	nDone int
 	// chanFree is the virtual time at which the shared communication
 	// channel becomes free (star-topology contention model).
 	chanFree Time
@@ -590,6 +690,7 @@ func (k *Kernel) addProc(name string, compute ComputeModel, fn func(*Proc)) *Pro
 		state:   stateReady,
 		resume:  make(chan struct{}),
 		fn:      fn,
+		heapIdx: -1,
 	}
 	k.procs = append(k.procs, p)
 	return p
@@ -660,27 +761,133 @@ func (k *Kernel) Proc(id int) *Proc { return k.proc(id) }
 // Procs returns all processes registered so far.
 func (k *Kernel) Procs() []*Proc { return k.procs }
 
-// runnableKey returns the scheduling key for p and whether p is runnable.
-// Ready processes run at their local time; receive-blocked processes become
-// runnable when a matching message is queued, at max(local, min arrival).
-func (k *Kernel) runnableKey(p *Proc) (Time, bool) {
-	switch p.state {
-	case stateReady:
-		return p.now, true
-	case stateRecv:
-		best, ok := earliestMatch(p)
-		if !ok {
-			return 0, false
+// Ready-queue: an indexed binary min-heap over runnable processes.
+// Ready processes are keyed by their local time; receive-blocked
+// processes enter when a matching message is queued, keyed by
+// max(local, earliest matching arrival).  Ties break by process id,
+// matching the original linear scan's first-minimum selection, so
+// schedules are bit-identical to the O(n)-scan kernel.
+
+func (k *Kernel) heapLess(i, j int) bool {
+	a, b := k.ready[i], k.ready[j]
+	return a.key < b.key || (a.key == b.key && a.id < b.id)
+}
+
+func (k *Kernel) heapSwap(i, j int) {
+	k.ready[i], k.ready[j] = k.ready[j], k.ready[i]
+	k.ready[i].heapIdx = i
+	k.ready[j].heapIdx = j
+}
+
+func (k *Kernel) heapUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !k.heapLess(i, parent) {
+			return
 		}
-		key := p.now
-		if best.Arrival > key {
-			key = best.Arrival
-		}
-		return key, true
-	default:
-		return 0, false
+		k.heapSwap(i, parent)
+		i = parent
 	}
 }
+
+func (k *Kernel) heapDown(i int) {
+	n := len(k.ready)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		min := l
+		if r := l + 1; r < n && k.heapLess(r, l) {
+			min = r
+		}
+		if !k.heapLess(min, i) {
+			return
+		}
+		k.heapSwap(i, min)
+		i = min
+	}
+}
+
+func (k *Kernel) heapPush(p *Proc, key Time) {
+	if p.heapIdx >= 0 {
+		panic(fmt.Sprintf("vm: proc %d already enqueued", p.id))
+	}
+	p.key = key
+	p.heapIdx = len(k.ready)
+	k.ready = append(k.ready, p)
+	k.heapUp(p.heapIdx)
+}
+
+func (k *Kernel) heapPop() *Proc {
+	p := k.ready[0]
+	last := len(k.ready) - 1
+	k.heapSwap(0, last)
+	k.ready[last] = nil
+	k.ready = k.ready[:last]
+	if last > 0 {
+		k.heapDown(0)
+	}
+	p.heapIdx = -1
+	return p
+}
+
+func (k *Kernel) heapDecrease(p *Proc, key Time) {
+	p.key = key
+	k.heapUp(p.heapIdx)
+}
+
+// soleRunnable reports whether no other process would be scheduled
+// before p if p yielded at its current time (strictly: every enqueued
+// process has a larger (key, id) than (p.now, p.id)).
+func (k *Kernel) soleRunnable(p *Proc) bool {
+	return k.soleRunnableAt(p, p.now)
+}
+
+func (k *Kernel) soleRunnableAt(p *Proc, key Time) bool {
+	if len(k.ready) == 0 {
+		return true
+	}
+	top := k.ready[0]
+	return top.key > key || (top.key == key && top.id > p.id)
+}
+
+// Quiescent reports whether no process is currently enqueued as
+// runnable.  Called by the process holding the execution token, it
+// means every other live process is parked — the precondition for the
+// level-of-detail macro replay in the layers above.
+func (k *Kernel) Quiescent() bool { return len(k.ready) == 0 }
+
+// Comm returns the kernel's communication cost model.
+func (k *Kernel) Comm() CommModel { return k.comm }
+
+// Faults returns the installed fault model (nil when disabled).
+func (k *Kernel) Faults() FaultModel { return k.faults }
+
+// FaultFree reports whether the kernel is provably free of fault
+// injection: either no fault model is installed, or the installed model
+// declares itself inert via an optional `FaultFree() bool` method (the
+// seeded fault.Plan does when all rates are zero, because its hooks
+// then draw nothing from the RNG stream).
+func (k *Kernel) FaultFree() bool {
+	if k.faults == nil {
+		return true
+	}
+	if ff, ok := k.faults.(interface{ FaultFree() bool }); ok {
+		return ff.FaultFree()
+	}
+	return false
+}
+
+// ChanFree returns the virtual time at which the shared communication
+// channel becomes free.
+func (k *Kernel) ChanFree() Time { return k.chanFree }
+
+// SetChanFree positions the shared-channel horizon.  Reserved for macro
+// replay layers that advance transfers analytically; must only be
+// called by the process holding the execution token, and never
+// backwards past an in-flight transfer.
+func (k *Kernel) SetChanFree(t Time) { k.chanFree = t }
 
 // earliestMatch finds the queued matching message with the smallest
 // (arrival, seq), removing nothing.
@@ -704,13 +911,23 @@ func takeEarliestMatch(p *Proc) *Message {
 	if !ok {
 		return nil
 	}
-	for i, m := range p.mailbox {
-		if m == best {
-			p.mailbox = append(p.mailbox[:i], p.mailbox[i+1:]...)
-			break
+	p.removeMessage(best)
+	return best
+}
+
+// removeMessage drops m from the mailbox.  Delivery order is decided by
+// (arrival, seq), never by mailbox position, so the O(1) swap-remove is
+// safe.
+func (p *Proc) removeMessage(m *Message) {
+	for i, q := range p.mailbox {
+		if q == m {
+			last := len(p.mailbox) - 1
+			p.mailbox[i] = p.mailbox[last]
+			p.mailbox[last] = nil
+			p.mailbox = p.mailbox[:last]
+			return
 		}
 	}
-	return best
 }
 
 // DeadlockError reports a simulation that stopped with live but
@@ -734,43 +951,48 @@ func (k *Kernel) Run() error {
 	defer func() { k.running = false }()
 	for _, p := range k.procs {
 		k.startProc(p)
+		k.heapPush(p, p.now)
 	}
-	for {
-		// Select the runnable process with the smallest key; ties by id.
-		var next *Proc
-		var nextKey Time
-		allDone := true
-		// Note: k.procs may grow while a process runs (Spawn); this loop
-		// always sees the current slice because the kernel only inspects
-		// it while holding the token.
-		for _, p := range k.procs {
-			if p.state != stateDone {
-				allDone = false
-			}
-			key, ok := k.runnableKey(p)
-			if !ok {
-				continue
-			}
-			if next == nil || key < nextKey {
-				next, nextKey = p, key
-			}
-		}
-		if next == nil {
-			if allDone {
-				return nil
-			}
+	// Note: k.procs may grow while a process runs (Spawn); the loop
+	// bound re-evaluates because the kernel only runs while holding the
+	// token.
+	for k.nDone < len(k.procs) {
+		if len(k.ready) == 0 {
 			return k.deadlock()
 		}
+		next := k.heapPop()
 		if next.state == stateRecv {
 			next.got = takeEarliestMatch(next)
 		}
 		next.state = stateRunning
 		next.resume <- struct{}{}
-		p := <-k.yield
-		if p.state == stateRunning {
-			// A process that yields without blocking stays ready.
-			p.state = stateReady
+		k.park(<-k.yield)
+	}
+	return nil
+}
+
+// park re-enqueues a process that just handed the token back, according
+// to the state it blocked in.
+func (k *Kernel) park(p *Proc) {
+	switch p.state {
+	case stateRunning:
+		// A process that yields without blocking stays ready.
+		p.state = stateReady
+		k.heapPush(p, p.now)
+	case stateRecv:
+		// Enqueue only if a matching message is already waiting; later
+		// arrivals enqueue it through noteArrival.
+		if best, ok := earliestMatch(p); ok {
+			key := p.now
+			if best.Arrival > key {
+				key = best.Arrival
+			}
+			k.heapPush(p, key)
 		}
+	case stateDone:
+		k.nDone++
+	case stateBarrier:
+		// Woken by the last arriver, which re-enqueues all members.
 	}
 }
 

@@ -74,6 +74,23 @@ func TestCommandSmoke(t *testing.T) {
 			t.Error("resume banner missing")
 		}
 	})
+	t.Run("opal-lod", func(t *testing.T) {
+		args := []string{"-size", "small", "-scale", "0.1", "-servers", "2",
+			"-steps", "3", "-v", "-metrics"}
+		off := runBuilt(t, dir, "opal", append([]string{"-lod", "off"}, args...)...)
+		on := runBuilt(t, dir, "opal", append([]string{"-lod", "on"}, args...)...)
+		if off != on {
+			t.Errorf("-lod=on output differs from -lod=off:\n--- off ---\n%s\n--- on ---\n%s", off, on)
+		}
+		auto := runBuilt(t, dir, "opal", append([]string{"-lod", "auto"}, args...)...)
+		if off != auto {
+			t.Errorf("-lod=auto output differs from -lod=off")
+		}
+		cmd := exec.Command(filepath.Join(dir, "opal"), "-lod", "bogus")
+		if outB, err := cmd.CombinedOutput(); err == nil {
+			t.Errorf("-lod=bogus exited zero:\n%s", outB)
+		}
+	})
 	t.Run("opal-oracle", func(t *testing.T) {
 		journal := filepath.Join(t.TempDir(), "run.jsonl")
 		out := runBuilt(t, dir, "opal",
