@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json check chaos cover fuzz figures clean telemetry-budget perf-gate
+.PHONY: all build test race bench bench-json check chaos scenarios cover fuzz figures clean telemetry-budget perf-gate
+
+# Seeds per scenario when sweeping the checked-in chaos corpus.
+SCENARIO_SEEDS ?= 10
 
 # Maximum steady-state CPU overhead (percent) of the telemetry plane,
 # enabled vs disabled, enforced by the telemetry-budget target.
@@ -24,7 +27,13 @@ race:
 chaos:
 	$(GO) test -race -count=5 \
 		-run 'TestChaos|TestParallelSurvives|TestServerQuit|TestSelfHeal|TestRestart|TestPeriodicCheckpoint' \
-		./internal/harness/ ./internal/md/
+		./internal/harness/ ./internal/md/ ./internal/scenario/
+
+# Validate and sweep the checked-in chaos corpus through the scenario
+# runner: every scenario over SCENARIO_SEEDS fault/kill seeds.
+scenarios:
+	$(GO) run ./cmd/scenario validate scenarios/
+	$(GO) run ./cmd/scenario run -seeds $(SCENARIO_SEEDS) scenarios/
 
 # The full tier-1 gate: what CI runs.
 check:
@@ -32,6 +41,7 @@ check:
 	$(GO) build ./...
 	$(GO) test ./...
 	$(GO) test -race ./...
+	$(MAKE) scenarios
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -82,6 +92,7 @@ fuzz:
 	$(GO) test ./internal/sciddle/idl/ -run xxx -fuzz FuzzParse -fuzztime 15s
 	$(GO) test ./internal/molecule/ -run xxx -fuzz FuzzRead -fuzztime 15s
 	$(GO) test ./internal/md/ -run xxx -fuzz FuzzReadCheckpoint -fuzztime 15s
+	$(GO) test ./internal/scenario/ -run xxx -fuzz FuzzScenarioParse -fuzztime 15s
 
 # Regenerate every paper table and figure at full problem scale (minutes).
 figures:

@@ -146,7 +146,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if err := validateKillRanks(ks, *servers); err != nil {
+			fatal(err)
+		}
 		opts.Kills = ks.Func()
+	}
+	if *ckptEvery < 0 {
+		fatal(fmt.Errorf("-checkpoint-every must be non-negative, have %d", *ckptEvery))
 	}
 	if *ckptEvery > 0 {
 		if *ckptFile == "" {
@@ -371,6 +377,19 @@ func parseKills(s string) (fault.KillSchedule, error) {
 		ks[step] = append(ks[step], rank)
 	}
 	return ks, nil
+}
+
+// validateKillRanks rejects kill entries naming ranks the fleet does not
+// have; a silent out-of-range kill would just never fire.
+func validateKillRanks(ks fault.KillSchedule, servers int) error {
+	for step, ranks := range ks {
+		for _, r := range ranks {
+			if r >= servers {
+				return fmt.Errorf("-kill-server %d:%d: rank %d is outside the fleet [0, %d)", step, r, r, servers)
+			}
+		}
+	}
+	return nil
 }
 
 func effPrefix(sys *molecule.System, cutoff float64) string {

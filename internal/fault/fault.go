@@ -115,6 +115,14 @@ type Plan struct {
 	cfg   Config
 	rng   splitmix
 	stats Stats
+	// muted gates injection without consuming the pseudo-random stream:
+	// while muted every hook returns "no fault" before drawing, so a
+	// plan activated only inside step windows (scenario inject_fault
+	// events) stays deterministic — the stream position is a pure
+	// function of the config and the active windows.  Toggled only from
+	// the client while it holds the execution token, like every other
+	// plan call.
+	muted bool
 	// Per-kind telemetry counters, resolved once at plan creation so the
 	// injection hot paths skip the vec lookup.  Counting happens outside
 	// the pseudo-random stream, so telemetry can never perturb a schedule.
@@ -138,6 +146,16 @@ func NewPlan(cfg Config) *Plan {
 
 // Stats returns the counts of faults injected so far.
 func (p *Plan) Stats() Stats { return p.stats }
+
+// SetActive mutes or unmutes the plan: while inactive, every hook reports
+// "no fault" without drawing from the pseudo-random stream.  The scenario
+// engine uses it to compile timed inject_fault windows; a plan is active
+// by default.  Call it only from the goroutine holding the execution
+// token (the client's step hooks), like every other plan method.
+func (p *Plan) SetActive(on bool) { p.muted = !on }
+
+// Active reports whether the plan currently injects.
+func (p *Plan) Active() bool { return !p.muted }
 
 // FaultFree reports whether the plan provably injects nothing: with all
 // rates zero every hook returns before drawing from the pseudo-random
@@ -168,6 +186,9 @@ func (p *Plan) scale() float64 { return 0.5 + p.rng.float64() }
 
 // SendFault implements vm.FaultModel: consulted once per simulated Send.
 func (p *Plan) SendFault(src, dst, tag, bytes int) (delay, resend float64) {
+	if p.muted {
+		return 0, 0
+	}
 	if p.chance(p.cfg.DropRate) {
 		p.stats.Drops++
 		p.cDrops.Add(1)
@@ -192,7 +213,7 @@ func (p *Plan) SendFault(src, dst, tag, bytes int) (delay, resend float64) {
 
 // ComputeFault implements vm.FaultModel: consulted once per compute burst.
 func (p *Plan) ComputeFault(proc int) float64 {
-	if !p.chance(p.cfg.CrashRate) {
+	if p.muted || !p.chance(p.cfg.CrashRate) {
 		return 0
 	}
 	p.stats.Crashes++
@@ -202,7 +223,7 @@ func (p *Plan) ComputeFault(proc int) float64 {
 
 // BarrierFault implements vm.FaultModel: consulted once per barrier entry.
 func (p *Plan) BarrierFault(proc int) float64 {
-	if !p.chance(p.cfg.StragglerRate) {
+	if p.muted || !p.chance(p.cfg.StragglerRate) {
 		return 0
 	}
 	p.stats.Stragglers++

@@ -34,6 +34,10 @@ type RunSpec struct {
 	// attached to the run's recorder and fed from the step loop.  Pure
 	// observation — the run's physics and virtual timings are untouched.
 	Oracle *oracle.Oracle
+	// OnPlan, when set with Faults, receives the freshly created fault
+	// plan before the simulation starts — the handle scenario step hooks
+	// use to gate injection windows (fault.Plan.SetActive).
+	OnPlan func(*fault.Plan)
 }
 
 // RunOutcome is the measured outcome of a run.
@@ -65,6 +69,9 @@ func Run(spec RunSpec) (RunOutcome, error) {
 	if spec.Faults != nil {
 		plan = fault.NewPlan(*spec.Faults)
 		sim.SetFaults(plan)
+		if spec.OnPlan != nil {
+			spec.OnPlan(plan)
+		}
 	}
 	var res *md.Result
 	var runErr error

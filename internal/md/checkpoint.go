@@ -81,24 +81,48 @@ func checkpointAt(sys *molecule.System, pos, vel []float64, step int) *Checkpoin
 // boundary keeps them exact; see checkpointAt).
 type ckptSched struct {
 	every, update, next int
+	// at is the one-shot request hook (Options.CheckpointAt), consulted
+	// with absolute step numbers; start is the run's StartStep offset.
+	// A request made off a pair-list update boundary stays pending until
+	// the next boundary, so every capture remains bit-exact to resume
+	// from.
+	at      func(step int) bool
+	start   int
+	pending bool
 }
 
 // newCkptSched builds the schedule for opts (which must already have
 // defaults applied); the zero value is a disabled schedule.
 func newCkptSched(opts Options) ckptSched {
-	if opts.CheckpointEvery <= 0 {
+	if opts.CheckpointEvery <= 0 && opts.CheckpointAt == nil {
 		return ckptSched{}
 	}
-	return ckptSched{every: opts.CheckpointEvery, update: opts.UpdateEvery, next: opts.CheckpointEvery}
+	return ckptSched{
+		every: opts.CheckpointEvery, update: opts.UpdateEvery, next: opts.CheckpointEvery,
+		at: opts.CheckpointAt, start: opts.StartStep,
+	}
 }
 
 // due reports whether a snapshot must be captured after `completed`
 // steps of the current run, advancing the schedule when it fires.
 func (s *ckptSched) due(completed int) bool {
-	if s.every <= 0 || completed < s.next || completed%s.update != 0 {
+	if s.every <= 0 && s.at == nil {
 		return false
 	}
-	s.next = completed + s.every
+	if s.at != nil && s.at(s.start+completed) {
+		s.pending = true
+	}
+	periodic := s.every > 0 && completed >= s.next
+	if !s.pending && !periodic {
+		return false
+	}
+	if completed%s.update != 0 {
+		return false
+	}
+	if periodic {
+		s.next = completed + s.every
+	}
+	s.pending = false
 	return true
 }
 

@@ -142,6 +142,15 @@ type Options struct {
 	// velocity slices are fresh copies the sink may retain.  A sink error
 	// aborts the run.
 	CheckpointSink func(*Checkpoint) error
+	// CheckpointAt, with CheckpointSink, adds one-shot checkpoint requests
+	// on top of (or instead of) the periodic CheckpointEvery schedule:
+	// when CheckpointAt reports true for a completed step — numbered
+	// absolutely, like the steps the sink sees — a snapshot is captured at
+	// the first pair-list update boundary at or after it, the same
+	// boundary rule that makes periodic captures bit-exact to resume
+	// from.  The scenario engine compiles timed `checkpoint` events into
+	// this hook.
+	CheckpointAt func(step int) bool
 	// StartStep is the absolute step number of the run's first step.
 	// Checkpoint resumes set it so that periodic checkpoints captured in
 	// a resumed run carry trajectory-absolute step numbers.
@@ -223,6 +232,13 @@ type Result struct {
 	// Steps[0] within the overall trajectory (non-zero after a checkpoint
 	// resume).
 	StartStep int
+	// LoDMacroPhases and LoDFallbackPhases count, for this run's
+	// connection, the RPC phases replayed as analytic macro-events and
+	// the phases that wanted macro replay but ran fine-grained (kill
+	// windows, heal epochs, lost eligibility).  Both stay zero with LoD
+	// off and on the serial engine.
+	LoDMacroPhases    int
+	LoDFallbackPhases int
 }
 
 // FinalEnergy returns the total energy of the last step.
@@ -390,8 +406,8 @@ func (o Options) validateCheckpointing() error {
 	if o.CheckpointEvery < 0 {
 		return fmt.Errorf("md: CheckpointEvery must be non-negative, have %d", o.CheckpointEvery)
 	}
-	if (o.CheckpointEvery > 0) != (o.CheckpointSink != nil) {
-		return fmt.Errorf("md: CheckpointEvery and CheckpointSink must be set together")
+	if (o.CheckpointEvery > 0 || o.CheckpointAt != nil) != (o.CheckpointSink != nil) {
+		return fmt.Errorf("md: CheckpointEvery/CheckpointAt and CheckpointSink must be set together")
 	}
 	return nil
 }

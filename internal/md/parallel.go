@@ -401,6 +401,7 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 	res.StepSeconds = res.EndSeconds - t0
 	res.FinalPos = append([]float64(nil), c.pos...)
 	res.FinalVel = append([]float64(nil), c.vel...)
+	res.LoDMacroPhases, res.LoDFallbackPhases = conn.LoDPhases()
 	conn.Close()
 	return res, nil
 }

@@ -158,6 +158,7 @@ type Oracle struct {
 	started   bool
 	windows   int
 	anomalies int
+	anomTerms map[string]int
 	terms     [4]ewma
 	last      *WindowReport
 
@@ -294,6 +295,10 @@ func (o *Oracle) closeWindow(endStep int, now float64, partial bool) {
 			if e.n >= o.cfg.MinWindows && math.Abs(tr.Z) > o.cfg.Z {
 				tr.Anomaly = true
 				o.anomalies++
+				if o.anomTerms == nil {
+					o.anomTerms = map[string]int{}
+				}
+				o.anomTerms[names[i]]++
 				o.cAnom[i].Add(1)
 				telemetry.Emit("oracle_anomaly", telemetry.F{
 					"term": names[i], "window": o.windows,
@@ -391,6 +396,19 @@ func (o *Oracle) Anomalies() int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	return o.anomalies
+}
+
+// AnomalyTerms returns the per-term anomaly counts — which model terms
+// (par, seq, comm, sync) the flagged deviations were attributed to.  The
+// scenario engine asserts on this attribution.
+func (o *Oracle) AnomalyTerms() map[string]int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]int, len(o.anomTerms))
+	for k, v := range o.anomTerms {
+		out[k] = v
+	}
+	return out
 }
 
 // Last returns the most recent window report, or nil before the first

@@ -1,0 +1,41 @@
+package scenario
+
+// Seed sweeps: the same scenario replayed under N distinct fault and
+// kill schedules (sweep index i offsets the declared seeds by i).  The
+// fault-free reference is computed once and shared — sweeps reseed the
+// environment, never the physics — and the seeds run concurrently on
+// the bounded worker pool, each on its own deterministic kernel.
+
+import (
+	"opalperf/internal/harness"
+	"opalperf/internal/parallel"
+)
+
+// Sweep runs the scenario at sweep indices 0..seeds-1 on up to workers
+// concurrent simulations (workers <= 0 uses the parallel.Workers
+// default) and returns one report per seed, in seed order.
+func Sweep(spec *Spec, seeds, workers int) []Report {
+	if seeds <= 0 {
+		seeds = 1
+	}
+	var ref *harness.RunOutcome
+	if spec.NeedsReference() {
+		out, err := Reference(spec)
+		if err != nil {
+			reports := make([]Report, seeds)
+			for i := range reports {
+				reports[i] = Report{Scenario: spec.Name, Sweep: i, Err: err}
+			}
+			return reports
+		}
+		ref = out
+	}
+	idx := make([]int, seeds)
+	for i := range idx {
+		idx[i] = i
+	}
+	reports, _ := parallel.MapN(workers, idx, func(i, sweep int) (Report, error) {
+		return RunScenario(spec, sweep, ref), nil
+	})
+	return reports
+}

@@ -1,0 +1,408 @@
+package scenario
+
+// A minimal YAML-subset parser for scenario files.  The repo is
+// dependency-free, so instead of importing a YAML library we implement
+// exactly the subset the scenario schema needs and reject everything
+// else loudly:
+//
+//   - block mappings (`key: value`, nested by indentation)
+//   - block sequences (`- item`, `- key: value` with continuation lines)
+//   - single-line flow collections (`{step: 3}`, `[comm, sync]`)
+//   - scalars: null/~, true/false, integers, floats, single- and
+//     double-quoted strings, plain strings
+//   - `#` comments (full-line and trailing)
+//
+// No anchors, no aliases, no tags, no multi-line scalars, no tabs.  The
+// parser produces map[string]any / []any / scalar trees; the strict
+// decoder in spec.go turns them into scenario specs and rejects unknown
+// keys.  Duplicate keys are parse errors — a scenario that silently
+// drops half its assertions is worse than one that fails to load.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseError is a parse failure with a 1-based line number.
+type parseError struct {
+	line int
+	msg  string
+}
+
+func (e *parseError) Error() string {
+	if e.line > 0 {
+		return fmt.Sprintf("line %d: %s", e.line, e.msg)
+	}
+	return e.msg
+}
+
+// srcLine is one significant input line.
+type srcLine struct {
+	num    int    // 1-based source line number
+	indent int    // leading spaces
+	text   string // content without indentation or trailing comment
+}
+
+// ParseYAML parses the scenario YAML subset into a generic tree of
+// map[string]any, []any and scalars.
+func ParseYAML(src []byte) (any, error) {
+	lines, err := splitLines(string(src))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, &parseError{0, "empty document"}
+	}
+	p := &parser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		return nil, &parseError{p.lines[p.pos].num, fmt.Sprintf("unexpected de-indented content %q", p.lines[p.pos].text)}
+	}
+	return v, nil
+}
+
+// splitLines strips comments and blank lines and records indentation.
+func splitLines(src string) ([]srcLine, error) {
+	var out []srcLine
+	for i, raw := range strings.Split(src, "\n") {
+		if strings.Contains(raw, "\t") {
+			return nil, &parseError{i + 1, "tab characters are not allowed (indent with spaces)"}
+		}
+		indent := len(raw) - len(strings.TrimLeft(raw, " "))
+		text := strings.TrimRight(stripComment(raw[indent:]), " ")
+		if text == "" {
+			continue
+		}
+		out = append(out, srcLine{num: i + 1, indent: indent, text: text})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing `#` comment that is not inside quotes.
+// A full-line comment starts with `#`; a trailing comment's `#` must
+// follow whitespace (so `rate#x` stays a plain scalar, as in YAML).
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				if quote == '\'' && i+1 < len(s) && s[i+1] == '\'' {
+					i++ // '' escape inside single quotes
+					continue
+				}
+				quote = 0
+			}
+		case c == '\'' || c == '"':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return strings.TrimRight(s[:i], " ")
+		}
+	}
+	return s
+}
+
+type parser struct {
+	lines []srcLine
+	pos   int
+}
+
+// parseBlock parses the mapping or sequence whose lines sit at exactly
+// `indent` columns.
+func (p *parser) parseBlock(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, &parseError{0, "unexpected end of document"}
+	}
+	ln := p.lines[p.pos]
+	if ln.indent != indent {
+		return nil, &parseError{ln.num, fmt.Sprintf("bad indentation: got %d spaces, expected %d", ln.indent, indent)}
+	}
+	if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func (p *parser) parseMapping(indent int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, &parseError{ln.num, fmt.Sprintf("bad indentation: got %d spaces, expected %d", ln.indent, indent)}
+		}
+		if strings.HasPrefix(ln.text, "- ") || ln.text == "-" {
+			return nil, &parseError{ln.num, "sequence item in a mapping block"}
+		}
+		key, rest, err := splitKey(ln)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, &parseError{ln.num, fmt.Sprintf("duplicate key %q", key)}
+		}
+		p.pos++
+		if rest != "" {
+			v, err := parseScalarOrFlow(rest, ln.num)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			continue
+		}
+		// `key:` alone — a nested block at deeper indentation, or null.
+		if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+		} else {
+			m[key] = nil
+		}
+	}
+	return m, nil
+}
+
+func (p *parser) parseSequence(indent int) (any, error) {
+	var seq []any
+	for p.pos < len(p.lines) {
+		ln := p.lines[p.pos]
+		if ln.indent < indent {
+			break
+		}
+		if ln.indent > indent {
+			return nil, &parseError{ln.num, fmt.Sprintf("bad indentation: got %d spaces, expected %d", ln.indent, indent)}
+		}
+		if !strings.HasPrefix(ln.text, "- ") && ln.text != "-" {
+			return nil, &parseError{ln.num, "mapping entry in a sequence block"}
+		}
+		if ln.text == "-" {
+			// Item body on the following, deeper-indented lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				seq = append(seq, nil)
+				continue
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		body := strings.TrimLeft(ln.text[2:], " ")
+		if body == "" {
+			return nil, &parseError{ln.num, "empty sequence item"}
+		}
+		// `- key: value` starts an inline mapping item whose further keys
+		// continue on deeper-indented lines; rewrite the dash as
+		// indentation and re-parse as a mapping block.
+		if k, _, err := splitKey(srcLine{num: ln.num, text: body}); err == nil && k != "" {
+			itemIndent := indent + (len(ln.text) - len(body))
+			p.lines[p.pos] = srcLine{num: ln.num, indent: itemIndent, text: body}
+			v, err := p.parseMapping(itemIndent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		p.pos++
+		v, err := parseScalarOrFlow(body, ln.num)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+	}
+	return seq, nil
+}
+
+// splitKey splits `key: rest` / `key:`; keys are plain scalars (no
+// quotes needed for the schema's fixed vocabulary).
+func splitKey(ln srcLine) (key, rest string, err error) {
+	i := strings.Index(ln.text, ":")
+	if i < 0 {
+		return "", "", &parseError{ln.num, fmt.Sprintf("expected `key: value`, got %q", ln.text)}
+	}
+	if i+1 < len(ln.text) && ln.text[i+1] != ' ' {
+		return "", "", &parseError{ln.num, fmt.Sprintf("expected a space after the colon in %q", ln.text)}
+	}
+	key = strings.TrimSpace(ln.text[:i])
+	if key == "" || strings.ContainsAny(key, "{}[]\"'#,") {
+		return "", "", &parseError{ln.num, fmt.Sprintf("bad mapping key %q", key)}
+	}
+	return key, strings.TrimSpace(ln.text[i+1:]), nil
+}
+
+// parseScalarOrFlow parses an inline value: a flow collection or a scalar.
+func parseScalarOrFlow(s string, line int) (any, error) {
+	if strings.HasPrefix(s, "{") || strings.HasPrefix(s, "[") {
+		v, rest, err := parseFlow(s, line)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, &parseError{line, fmt.Sprintf("trailing content %q after flow collection", rest)}
+		}
+		return v, nil
+	}
+	return parseScalar(s, line)
+}
+
+// parseFlow parses `{...}` / `[...]` and returns the unconsumed tail.
+func parseFlow(s string, line int) (any, string, error) {
+	switch s[0] {
+	case '{':
+		m := map[string]any{}
+		rest := strings.TrimLeft(s[1:], " ")
+		if strings.HasPrefix(rest, "}") {
+			return m, rest[1:], nil
+		}
+		for {
+			i := strings.Index(rest, ":")
+			if i < 0 {
+				return nil, "", &parseError{line, fmt.Sprintf("expected `key: value` in flow mapping near %q", rest)}
+			}
+			key := strings.TrimSpace(rest[:i])
+			if key == "" || strings.ContainsAny(key, "{}[]\"'#,") {
+				return nil, "", &parseError{line, fmt.Sprintf("bad flow mapping key %q", key)}
+			}
+			if _, dup := m[key]; dup {
+				return nil, "", &parseError{line, fmt.Sprintf("duplicate key %q", key)}
+			}
+			var v any
+			var err error
+			v, rest, err = parseFlowValue(strings.TrimLeft(rest[i+1:], " "), line)
+			if err != nil {
+				return nil, "", err
+			}
+			m[key] = v
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, ",") {
+				rest = strings.TrimLeft(rest[1:], " ")
+				continue
+			}
+			if strings.HasPrefix(rest, "}") {
+				return m, rest[1:], nil
+			}
+			return nil, "", &parseError{line, fmt.Sprintf("expected `,` or `}` near %q", rest)}
+		}
+	case '[':
+		var seq []any
+		rest := strings.TrimLeft(s[1:], " ")
+		if strings.HasPrefix(rest, "]") {
+			return []any{}, rest[1:], nil
+		}
+		for {
+			var v any
+			var err error
+			v, rest, err = parseFlowValue(rest, line)
+			if err != nil {
+				return nil, "", err
+			}
+			seq = append(seq, v)
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, ",") {
+				rest = strings.TrimLeft(rest[1:], " ")
+				continue
+			}
+			if strings.HasPrefix(rest, "]") {
+				return seq, rest[1:], nil
+			}
+			return nil, "", &parseError{line, fmt.Sprintf("expected `,` or `]` near %q", rest)}
+		}
+	}
+	return nil, "", &parseError{line, fmt.Sprintf("not a flow collection: %q", s)}
+}
+
+// parseFlowValue parses one value inside a flow collection, stopping at
+// the enclosing delimiter.
+func parseFlowValue(s string, line int) (any, string, error) {
+	if s == "" {
+		return nil, "", &parseError{line, "missing value in flow collection"}
+	}
+	if s[0] == '{' || s[0] == '[' {
+		return parseFlow(s, line)
+	}
+	if s[0] == '\'' || s[0] == '"' {
+		str, rest, err := parseQuoted(s, line)
+		return str, rest, err
+	}
+	end := strings.IndexAny(s, ",}]")
+	if end < 0 {
+		end = len(s)
+	}
+	v, err := parseScalar(strings.TrimSpace(s[:end]), line)
+	return v, s[end:], err
+}
+
+// parseQuoted consumes a quoted string and returns the tail.
+func parseQuoted(s string, line int) (string, string, error) {
+	quote := s[0]
+	if quote == '"' {
+		for i := 1; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				str, err := strconv.Unquote(s[:i+1])
+				if err != nil {
+					return "", "", &parseError{line, fmt.Sprintf("bad double-quoted string %q: %v", s[:i+1], err)}
+				}
+				return str, s[i+1:], nil
+			}
+		}
+		return "", "", &parseError{line, "unterminated double-quoted string"}
+	}
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\'' {
+			if i+1 < len(s) && s[i+1] == '\'' {
+				b.WriteByte('\'')
+				i++
+				continue
+			}
+			return b.String(), s[i+1:], nil
+		}
+		b.WriteByte(s[i])
+	}
+	return "", "", &parseError{line, "unterminated single-quoted string"}
+}
+
+// parseScalar types a plain scalar: null, bool, int, float or string.
+func parseScalar(s string, line int) (any, error) {
+	switch s {
+	case "", "null", "~", "Null", "NULL":
+		return nil, nil
+	case "true", "True", "TRUE":
+		return true, nil
+	case "false", "False", "FALSE":
+		return false, nil
+	}
+	if s[0] == '\'' || s[0] == '"' {
+		str, rest, err := parseQuoted(s, line)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, &parseError{line, fmt.Sprintf("trailing content %q after quoted string", rest)}
+		}
+		return str, nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return n, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

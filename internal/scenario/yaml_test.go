@@ -1,0 +1,97 @@
+package scenario
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseYAMLBasics(t *testing.T) {
+	src := `
+# a comment
+name: hello
+count: 42
+ratio: 0.5
+neg: -3
+on: true
+off: false
+empty: null
+tilde: ~
+quoted: "a # not a comment"
+single: 'it''s'
+`
+	got, err := ParseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name": "hello", "count": int64(42), "ratio": 0.5, "neg": int64(-3),
+		"on": true, "off": false, "empty": nil, "tilde": nil,
+		"quoted": "a # not a comment", "single": "it's",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseYAMLNesting(t *testing.T) {
+	src := `
+fleet:
+  servers: 2
+  steps: 4
+events:
+  - at: {step: 1}
+    action: kill_server
+    rank: 0
+  - at: {step: 3}
+    action: checkpoint
+terms: [par, seq]
+`
+	got, err := ParseYAML([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"fleet": map[string]any{"servers": int64(2), "steps": int64(4)},
+		"events": []any{
+			map[string]any{"at": map[string]any{"step": int64(1)}, "action": "kill_server", "rank": int64(0)},
+			map[string]any{"at": map[string]any{"step": int64(3)}, "action": "checkpoint"},
+		},
+		"terms": []any{"par", "seq"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestParseYAMLErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"tab", "a:\n\tb: 1", "tab"},
+		{"duplicate key", "a: 1\na: 2", "duplicate key"},
+		{"missing colon", "just words\n", "expected `key: value`"},
+		{"bad flow", "a: {b: 1", "expected `,` or `}`"},
+		{"unterminated quote", `a: "oops`, "unterminated"},
+		{"mixed map in sequence", "- a\nb: 1", "sequence"},
+		{"bad indent", "a:\n    b: 1\n   c: 2", "indent"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseYAML([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("parsed %q without error", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseYAMLLineNumbers(t *testing.T) {
+	_, err := ParseYAML([]byte("a: 1\nb: 2\nb: 3\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("duplicate-key error missing line number: %v", err)
+	}
+}

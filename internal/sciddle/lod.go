@@ -169,15 +169,23 @@ func (c *Conn) macroPhasePacked(method string, pack func(i int, args *pvm.Buffer
 		st.tLat.Observe(mt.Collect[i] - mt.Issue[i])
 		pvm.ReportFlow(c.t, method, c.servers[i], mt.Issue[i], mt.Collect[i])
 	}
+	c.lodMacro++
 	telemetry.LoDMacroPhases.Add(1)
 	return c.replies, true
 }
+
+// LoDPhases returns this connection's macro-replayed and fallback phase
+// counts — the per-run view of the global LoDMacroPhases/
+// LoDFallbackPhases telemetry counters, safe to read in parallel sweeps
+// where the process-wide counters aggregate many runs.
+func (c *Conn) LoDPhases() (macro, fallback int) { return c.lodMacro, c.lodFallback }
 
 // tryMacroPhase wraps macroPhasePacked with the accounting latch
 // described at SetLoD.
 func (c *Conn) tryMacroPhase(method string, pack func(i int, args *pvm.Buffer)) ([]*pvm.Buffer, bool) {
 	if !c.lod {
 		if c.lodSusp {
+			c.lodFallback++
 			telemetry.LoDFallbackPhases.Add(1)
 		}
 		return nil, false
@@ -189,6 +197,7 @@ func (c *Conn) tryMacroPhase(method string, pack func(i int, args *pvm.Buffer)) 
 		}
 		return replies, true
 	}
+	c.lodFallback++
 	telemetry.LoDFallbackPhases.Add(1)
 	if c.accounting {
 		if c.macroAcct {

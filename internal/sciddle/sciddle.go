@@ -262,6 +262,8 @@ type Conn struct {
 	lod          bool
 	lodSusp      bool
 	macroAcct    bool
+	lodMacro     int // phases replayed as macro-events on this connection
+	lodFallback  int // phases that wanted macro replay but ran fine-grained
 	macroFleet   []int // fleet the memoized entries were resolved for
 	macroCalls   []pvm.MacroCall
 	macroEntries []pvm.DirectEntry

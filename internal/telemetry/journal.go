@@ -40,6 +40,10 @@ type Journal struct {
 	maxBytes int64
 	written  int64
 	dropped  uint64
+	// clock stamps events; nil means time.Now.  Tests and deterministic
+	// scenario replays pin it so that two identical runs render
+	// byte-identical journal lines.
+	clock func() time.Time
 }
 
 // current is the installed journal; Emit no-ops while it is nil.
@@ -93,6 +97,16 @@ func (j *Journal) SetDumpTrigger(types ...string) {
 // Flight returns the journal's flight recorder.
 func (j *Journal) Flight() *Flight { return j.flight }
 
+// SetClock replaces the wall-clock source stamping events (nil restores
+// time.Now).  With a fixed clock and a fixed run ID, the journal of a
+// deterministic run is byte-identical across replays — the contract the
+// scenario byte-identity tests pin.
+func (j *Journal) SetClock(fn func() time.Time) {
+	j.mu.Lock()
+	j.clock = fn
+	j.mu.Unlock()
+}
+
 // SetMaxBytes caps the journal's JSONL stream at n bytes; events past the
 // cap are dropped (and counted) rather than written.  n <= 0 removes the
 // cap.  The flight recorder is unaffected — it is bounded by event count
@@ -135,7 +149,11 @@ func Emit(typ string, fields F) {
 func (j *Journal) Emit(typ string, fields F) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	j.buf = appendEvent(j.buf[:0], time.Now(), Run(), typ, fields)
+	now := time.Now
+	if j.clock != nil {
+		now = j.clock
+	}
+	j.buf = appendEvent(j.buf[:0], now(), Run(), typ, fields)
 	line := string(j.buf)
 	j.flight.add(line)
 	if j.w != nil {

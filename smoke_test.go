@@ -41,6 +41,18 @@ func runBuilt(t *testing.T, dir, name string, args ...string) string {
 	return string(out)
 }
 
+// runBuiltErr runs a built command expecting a non-zero exit, and
+// returns its combined output for error-message assertions.
+func runBuiltErr(t *testing.T, dir, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("%s %v exited zero, want failure:\n%s", name, args, out)
+	}
+	return string(out)
+}
+
 func TestCommandSmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -89,6 +101,38 @@ func TestCommandSmoke(t *testing.T) {
 		cmd := exec.Command(filepath.Join(dir, "opal"), "-lod", "bogus")
 		if outB, err := cmd.CombinedOutput(); err == nil {
 			t.Errorf("-lod=bogus exited zero:\n%s", outB)
+		}
+	})
+	t.Run("opal-kill-rank-out-of-range", func(t *testing.T) {
+		out := runBuiltErr(t, dir, "opal",
+			"-size", "small", "-scale", "0.1", "-servers", "2", "-steps", "4",
+			"-supervise", "-kill-server", "1:9")
+		if !strings.Contains(out, "outside the fleet") {
+			t.Errorf("out-of-range kill rank not diagnosed:\n%s", out)
+		}
+	})
+	t.Run("opal-negative-checkpoint-every", func(t *testing.T) {
+		out := runBuiltErr(t, dir, "opal",
+			"-size", "small", "-scale", "0.1", "-servers", "2", "-steps", "4",
+			"-checkpoint-every", "-1")
+		if !strings.Contains(out, "must be non-negative") {
+			t.Errorf("negative -checkpoint-every not diagnosed:\n%s", out)
+		}
+	})
+	t.Run("scenario", func(t *testing.T) {
+		out := runBuilt(t, dir, "scenario", "validate", "scenarios")
+		if !strings.Contains(out, "scenario(s) valid") {
+			t.Errorf("scenario validate output missing summary:\n%s", out)
+		}
+		out = runBuilt(t, dir, "scenario", "run", "-seeds", "2",
+			filepath.Join("scenarios", "kill-sweep.yaml"))
+		if !strings.Contains(out, "PASS: 1 scenario(s) x 2 seed(s)") {
+			t.Errorf("scenario run summary missing:\n%s", out)
+		}
+		out = runBuiltErr(t, dir, "scenario", "run",
+			filepath.Join("internal", "scenario", "testdata", "invalid", "rank-out-of-range.yaml"))
+		if !strings.Contains(out, "rank") {
+			t.Errorf("invalid scenario not diagnosed:\n%s", out)
 		}
 	})
 	t.Run("opal-oracle", func(t *testing.T) {
