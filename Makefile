@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json check chaos scenarios cover fuzz figures clean telemetry-budget perf-gate
+.PHONY: all build test race bench bench-json check chaos scenarios cover fuzz figures clean telemetry-budget perf-gate opald-smoke service-chaos
 
 # Seeds per scenario when sweeping the checked-in chaos corpus.
 SCENARIO_SEEDS ?= 10
@@ -35,6 +35,18 @@ scenarios:
 	$(GO) run ./cmd/scenario validate scenarios/
 	$(GO) run ./cmd/scenario run -seeds $(SCENARIO_SEEDS) scenarios/
 
+# Service-level chaos: the control plane's 25-seed worker-kill sweep plus
+# the drain/overload/quota property tests, all under the race detector.
+service-chaos:
+	$(GO) test -race -count=1 \
+		-run 'TestServiceChaos|TestDrain|TestQuota|TestFIFO|TestFullQueue|TestSingleFlight|TestPanicIsolation|TestRetryThenFail|TestHTTPOverload' \
+		./internal/ctlplane/
+
+# End-to-end opald smoke: boot the daemon, run a job and 1k predictions
+# over HTTP, SIGTERM it, and require a clean exit with a flushed journal.
+opald-smoke:
+	$(GO) test -count=1 -run TestOpaldSmoke .
+
 # The full tier-1 gate: what CI runs.
 check:
 	$(GO) vet ./...
@@ -42,6 +54,8 @@ check:
 	$(GO) test ./...
 	$(GO) test -race ./...
 	$(MAKE) scenarios
+	$(MAKE) service-chaos
+	$(MAKE) opald-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -102,7 +102,10 @@ func main() {
 	if *httpAddr != "" {
 		bound, stopHTTP, err := telemetry.Serve(*httpAddr)
 		if err != nil {
-			fatal(err)
+			// A taken port is an operator mistake, not a run failure:
+			// name the flag and the likely cause instead of a bare
+			// listen error.
+			fatal(fmt.Errorf("cannot serve -http on %q: %w (is another opal or opald already bound there?)", *httpAddr, err))
 		}
 		defer stopHTTP()
 		fmt.Printf("telemetry: serving /metrics, /healthz, /debug/pprof on http://%s\n", bound)

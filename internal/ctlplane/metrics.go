@@ -1,0 +1,27 @@
+package ctlplane
+
+import "opalperf/internal/telemetry"
+
+// Control-plane instruments, registered on the default telemetry
+// registry so opald's /metrics carries them next to the run-level
+// instruments of the jobs it executes.
+var (
+	mQueueDepth  = telemetry.Default.Gauge("opal_ctl_queue_depth", "Jobs admitted but not yet started.")
+	mJobsRunning = telemetry.Default.Gauge("opal_ctl_jobs_running", "Jobs currently executing on the worker pool.")
+	mBreakerOpen = telemetry.Default.Gauge("opal_ctl_breaker_open", "Canonical specs currently quarantined by the circuit breaker.")
+
+	mAccepted     = telemetry.Default.Counter("opal_ctl_jobs_accepted_total", "Run submissions admitted to the queue.")
+	mCoalesced    = telemetry.Default.Counter("opal_ctl_jobs_coalesced_total", "Run submissions deduplicated onto an existing execution or cached result.")
+	mShed         = telemetry.Default.CounterVec("opal_ctl_shed_total", "Run submissions shed at admission, by reason.", "reason")
+	mDone         = telemetry.Default.Counter("opal_ctl_jobs_done_total", "Jobs completed with a result.")
+	mFailed       = telemetry.Default.Counter("opal_ctl_jobs_failed_total", "Jobs that exhausted their retry budget or hit their deadline.")
+	mCheckpointed = telemetry.Default.Counter("opal_ctl_jobs_checkpointed_total", "Jobs checkpointed by a graceful drain.")
+	mRetries      = telemetry.Default.Counter("opal_ctl_job_retries_total", "Job execution retries after a transient failure.")
+
+	mWorkerCrashes  = telemetry.Default.Counter("opal_ctl_worker_crashes_total", "Worker goroutines that died mid-job (panic or kill).")
+	mWorkerRespawns = telemetry.Default.Counter("opal_ctl_worker_respawns_total", "Replacement workers spawned by the pool supervisor.")
+
+	mPredicts       = telemetry.Default.Counter("opal_ctl_predicts_total", "Model predictions served.")
+	mPredictSeconds = telemetry.Default.Histogram("opal_ctl_predict_seconds", "Host latency of the /predict read path.", telemetry.LatencyBuckets)
+	mJobSeconds     = telemetry.Default.Histogram("opal_ctl_job_seconds", "Host wall time of one job execution attempt.", telemetry.LatencyBuckets)
+)

@@ -1,0 +1,141 @@
+package ctlplane
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"opalperf/internal/core"
+	"opalperf/internal/molecule"
+	"opalperf/internal/platform"
+)
+
+// PredictRequest asks the analytic model a what-if question: what does
+// the execution time of this run decompose into on that platform?  No
+// simulation runs — the answer comes from the calibrated platform tables
+// in microseconds, which is the whole calibrate-once/predict-many
+// economics of the read path.
+type PredictRequest struct {
+	Platform    string
+	Size        string
+	Scale       float64
+	Servers     int
+	Steps       int
+	Cutoff      float64
+	UpdateEvery int
+}
+
+// PredictResponse is the modelled breakdown.
+type PredictResponse struct {
+	Platform    string  `json:"platform"`
+	Machine     string  `json:"machine"`
+	Size        string  `json:"size"`
+	Servers     int     `json:"servers"`
+	Steps       int     `json:"steps"`
+	N           int     `json:"mass_centers"`
+	Par         float64 `json:"par_seconds"`
+	Seq         float64 `json:"seq_seconds"`
+	Comm        float64 `json:"comm_seconds"`
+	Sync        float64 `json:"sync_seconds"`
+	Total       float64 `json:"total_seconds"`
+	SpeedupVsP1 float64 `json:"speedup_vs_p1"`
+}
+
+// predictor serves model predictions from memoized platform tables.  The
+// expensive pieces — generating the molecular system and extracting the
+// machine parameters from the platform's key data — are computed once
+// per (size, scale) and (platform, size, scale) respectively; a request
+// after warm-up is pure closed-form arithmetic (~µs).
+type predictor struct {
+	systems *systemCache
+	lim     Limits
+
+	mu       sync.Mutex
+	machines map[string]core.Machine
+}
+
+func newPredictor(systems *systemCache, lim Limits) *predictor {
+	return &predictor{systems: systems, lim: lim.withDefaults(), machines: map[string]core.Machine{}}
+}
+
+func (p *predictor) system(size string, scale float64) (*molecule.System, error) {
+	switch size {
+	case "small", "medium", "large":
+	default:
+		return nil, fmt.Errorf("ctlplane: unknown size %q", size)
+	}
+	if scale < 0.01 || scale > 1 {
+		return nil, fmt.Errorf("ctlplane: scale %g outside [0.01, 1]", scale)
+	}
+	sys := p.systems.get(size, scale)
+	if sys == nil {
+		return nil, fmt.Errorf("ctlplane: unknown size %q", size)
+	}
+	return sys, nil
+}
+
+func (p *predictor) machine(pl *platform.Platform, key string, gamma float64) core.Machine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, ok := p.machines[key]
+	if !ok {
+		m = core.MachineFor(pl, gamma)
+		p.machines[key] = m
+	}
+	return m
+}
+
+// predict answers one request.
+func (p *predictor) predict(req PredictRequest) (PredictResponse, error) {
+	req.Platform = strings.ToLower(strings.TrimSpace(req.Platform))
+	if req.Platform == "" {
+		req.Platform = "j90"
+	}
+	pl, err := platform.ByName(req.Platform)
+	if err != nil {
+		return PredictResponse{}, fmt.Errorf("ctlplane: %w", err)
+	}
+	req.Size = strings.ToLower(strings.TrimSpace(req.Size))
+	if req.Size == "" {
+		req.Size = "small"
+	}
+	if req.Scale == 0 {
+		req.Scale = 1
+	}
+	if req.Steps <= 0 || req.Steps > p.lim.MaxSteps {
+		return PredictResponse{}, fmt.Errorf("ctlplane: steps %d outside [1, %d]", req.Steps, p.lim.MaxSteps)
+	}
+	if req.Servers <= 0 {
+		return PredictResponse{}, fmt.Errorf("ctlplane: predict needs parallel servers (>= 1): the model decomposes the client/server split")
+	}
+	if req.Servers > p.lim.MaxServers {
+		return PredictResponse{}, fmt.Errorf("ctlplane: servers %d outside [1, %d]", req.Servers, p.lim.MaxServers)
+	}
+	if req.Cutoff == 0 {
+		req.Cutoff = 60
+	}
+	if req.UpdateEvery <= 0 {
+		req.UpdateEvery = 1
+	}
+	sys, err := p.system(req.Size, req.Scale)
+	if err != nil {
+		return PredictResponse{}, err
+	}
+	key := fmt.Sprintf("%s|%s|%g", req.Platform, req.Size, req.Scale)
+	m := p.machine(pl, key, sys.Gamma())
+	app := core.AppFor(sys, req.Cutoff, req.UpdateEvery, req.Servers, req.Steps)
+	b := m.Predict(app)
+	app1 := app
+	app1.P = 1
+	t1 := m.Total(app1)
+	resp := PredictResponse{
+		Platform: req.Platform, Machine: m.Name, Size: req.Size,
+		Servers: req.Servers, Steps: req.Steps, N: sys.N,
+		Par: b.Par, Seq: b.Seq, Comm: b.Comm, Sync: b.Sync,
+		Total: b.Total(),
+	}
+	if resp.Total > 0 {
+		resp.SpeedupVsP1 = t1 / resp.Total
+	}
+	return resp, nil
+}

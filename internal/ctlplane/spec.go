@@ -1,0 +1,197 @@
+package ctlplane
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"opalperf/internal/fault"
+	"opalperf/internal/harness"
+	"opalperf/internal/md"
+	"opalperf/internal/molecule"
+	"opalperf/internal/pairlist"
+	"opalperf/internal/platform"
+)
+
+// JobSpec is the wire form of one run submission.  Everything except
+// Tenant participates in the canonical identity of the run: determinism
+// of the virtual-time kernel makes two canonically equal specs produce
+// bit-identical results, which is what lets the store deduplicate them.
+type JobSpec struct {
+	// Tenant names the submitting tenant; it rides on the submission for
+	// quota accounting but is excluded from the canonical hash, so the
+	// same physical run submitted by two tenants coalesces onto one
+	// execution.
+	Tenant string `json:"tenant,omitempty"`
+
+	Platform    string  `json:"platform,omitempty"`     // default "j90"
+	Size        string  `json:"size,omitempty"`         // small, medium, large (default "small")
+	Scale       float64 `json:"scale,omitempty"`        // problem scale factor (default 1)
+	Servers     int     `json:"servers"`                // 0 = serial Opal 2.6
+	Steps       int     `json:"steps"`                  // required, > 0
+	Cutoff      float64 `json:"cutoff,omitempty"`       // default 60 A (ineffective)
+	UpdateEvery int     `json:"update_every,omitempty"` // default 1
+	Strategy    string  `json:"strategy,omitempty"`     // default "lcg"
+	Seed        int64   `json:"seed,omitempty"`         // pair-distribution seed
+	Dynamics    bool    `json:"dynamics,omitempty"`     // leapfrog instead of minimization
+	SelfHeal    bool    `json:"self_heal,omitempty"`    // supervised self-healing fleet
+	FaultRate   float64 `json:"fault_rate,omitempty"`   // seeded chaos injection
+	FaultSeed   uint64  `json:"fault_seed,omitempty"`
+}
+
+// Limits bound what a single submission may ask for; the zero value
+// applies the service defaults.
+type Limits struct {
+	MaxSteps   int // default 10000
+	MaxServers int // default 64
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxSteps <= 0 {
+		l.MaxSteps = 10000
+	}
+	if l.MaxServers <= 0 {
+		l.MaxServers = 64
+	}
+	return l
+}
+
+// Canonicalize validates the spec against the limits and returns its
+// canonical form: defaults filled in, names lower-cased, tenant cleared.
+// Two submissions that canonicalize equal are the same run.
+func (s JobSpec) Canonicalize(lim Limits) (JobSpec, error) {
+	lim = lim.withDefaults()
+	c := s
+	c.Tenant = ""
+	c.Platform = strings.ToLower(strings.TrimSpace(c.Platform))
+	if c.Platform == "" {
+		c.Platform = "j90"
+	}
+	if _, err := platform.ByName(c.Platform); err != nil {
+		return JobSpec{}, fmt.Errorf("ctlplane: %w", err)
+	}
+	c.Size = strings.ToLower(strings.TrimSpace(c.Size))
+	if c.Size == "" {
+		c.Size = "small"
+	}
+	switch c.Size {
+	case "small", "medium", "large":
+	default:
+		return JobSpec{}, fmt.Errorf("ctlplane: unknown size %q (want small, medium or large)", c.Size)
+	}
+	if c.Scale == 0 {
+		c.Scale = 1
+	}
+	if c.Scale < 0.01 || c.Scale > 1 {
+		return JobSpec{}, fmt.Errorf("ctlplane: scale %g outside [0.01, 1]", c.Scale)
+	}
+	if c.Steps <= 0 || c.Steps > lim.MaxSteps {
+		return JobSpec{}, fmt.Errorf("ctlplane: steps %d outside [1, %d]", c.Steps, lim.MaxSteps)
+	}
+	if c.Servers < 0 || c.Servers > lim.MaxServers {
+		return JobSpec{}, fmt.Errorf("ctlplane: servers %d outside [0, %d]", c.Servers, lim.MaxServers)
+	}
+	if c.Cutoff == 0 {
+		c.Cutoff = harness.NoCutoff
+	}
+	if c.Cutoff < 0 {
+		return JobSpec{}, fmt.Errorf("ctlplane: negative cutoff %g", c.Cutoff)
+	}
+	if c.UpdateEvery <= 0 {
+		c.UpdateEvery = 1
+	}
+	c.Strategy = strings.ToLower(strings.TrimSpace(c.Strategy))
+	if c.Strategy == "" {
+		c.Strategy = "lcg"
+	}
+	if _, err := pairlist.ParseStrategy(c.Strategy); err != nil {
+		return JobSpec{}, fmt.Errorf("ctlplane: %w", err)
+	}
+	if c.FaultRate < 0 || c.FaultRate > 1 {
+		return JobSpec{}, fmt.Errorf("ctlplane: fault rate %g outside [0, 1]", c.FaultRate)
+	}
+	if c.SelfHeal && c.Servers <= 0 {
+		return JobSpec{}, fmt.Errorf("ctlplane: self_heal needs parallel servers")
+	}
+	return c, nil
+}
+
+// Hash returns the canonical identity of an already-canonicalized spec:
+// a truncated SHA-256 of its field-ordered JSON rendering (tenant
+// excluded by canonicalization).  The JSON layer makes the rules
+// auditable — GET /v1/runs/{id} echoes the canonical spec it hashed.
+func (s JobSpec) Hash() string {
+	s.Tenant = ""
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A JobSpec of plain scalars cannot fail to marshal.
+		panic(fmt.Sprintf("ctlplane: hash marshal: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:12])
+}
+
+// systemCache memoizes the generated molecular systems per (size, scale):
+// generation is the expensive part of a submission, and canonical specs
+// reuse systems freely because runs never mutate their input system.
+type systemCache struct {
+	mu   sync.Mutex
+	sets map[float64]map[string]*molecule.System
+}
+
+func newSystemCache() *systemCache {
+	return &systemCache{sets: map[float64]map[string]*molecule.System{}}
+}
+
+func (c *systemCache) get(size string, scale float64) *molecule.System {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := c.sets[scale]
+	if set == nil {
+		set = harness.Sizes(scale)
+		c.sets[scale] = set
+	}
+	return set[size]
+}
+
+// runSpec compiles a canonical JobSpec onto the harness, sharing systems
+// through the cache.  The caller owns the returned spec and may attach
+// checkpoint sinks and cancellation hooks before running it.
+func (s JobSpec) runSpec(systems *systemCache) (harness.RunSpec, error) {
+	pl, err := platform.ByName(s.Platform)
+	if err != nil {
+		return harness.RunSpec{}, err
+	}
+	strat, err := pairlist.ParseStrategy(s.Strategy)
+	if err != nil {
+		return harness.RunSpec{}, err
+	}
+	sys := systems.get(s.Size, s.Scale)
+	if sys == nil {
+		return harness.RunSpec{}, fmt.Errorf("ctlplane: unknown size %q", s.Size)
+	}
+	opts := md.Options{
+		Cutoff:      s.Cutoff,
+		UpdateEvery: s.UpdateEvery,
+		Strategy:    strat,
+		Seed:        s.Seed,
+		Accounting:  !s.SelfHeal,
+		Minimize:    !s.Dynamics,
+		SelfHeal:    s.SelfHeal,
+	}
+	spec := harness.RunSpec{
+		Platform: pl,
+		Sys:      sys,
+		Opts:     opts,
+		Servers:  s.Servers,
+		Steps:    s.Steps,
+	}
+	if s.FaultRate > 0 {
+		cfg := fault.Uniform(s.FaultSeed, s.FaultRate)
+		spec.Faults = &cfg
+	}
+	return spec, nil
+}

@@ -1,0 +1,87 @@
+package md
+
+import (
+	"errors"
+	"testing"
+
+	"opalperf/internal/molecule"
+	"opalperf/internal/platform"
+	"opalperf/internal/pvm"
+)
+
+// errStopNow is the cause the cancel hooks below return.
+var errStopNow = errors.New("stop now")
+
+// TestCancelSerial pins the cooperative-cancellation contract on the
+// serial engine: the run stops at the step boundary where Cancel first
+// returns a cause, the error is a *CancelError carrying that boundary,
+// and both ErrCanceled and the cause are visible through errors.Is.
+func TestCancelSerial(t *testing.T) {
+	sys := molecule.TestComplex(10, 15, 21)
+	done := 0
+	opts := Options{Seed: 1}
+	opts.Cancel = func() error {
+		done++
+		if done >= 3 {
+			return errStopNow
+		}
+		return nil
+	}
+	_, err := runSerialSimErr(sys, opts, 10)
+	if err == nil {
+		t.Fatal("canceled run returned nil error")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("errors.Is(err, ErrCanceled) = false for %v", err)
+	}
+	if !errors.Is(err, errStopNow) {
+		t.Errorf("cause not unwrapped from %v", err)
+	}
+	var ce *CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error is %T, want *CancelError", err)
+	}
+	if ce.Step != 3 {
+		t.Errorf("canceled at step %d, want 3", ce.Step)
+	}
+}
+
+// TestCancelParallelAfterCheckpoint pins the drain ordering: a checkpoint
+// requested at the cancellation boundary is captured before the cancel
+// poll fires, so graceful drain never loses the state it stopped for.
+func TestCancelParallelAfterCheckpoint(t *testing.T) {
+	sys := molecule.TestComplex(12, 20, 23)
+	var captured *Checkpoint
+	opts := Options{Seed: 2, UpdateEvery: 2}
+	opts.CheckpointAt = func(step int) bool { return step >= 4 }
+	opts.CheckpointSink = func(cp *Checkpoint) error { captured = cp; return nil }
+	opts.Cancel = func() error {
+		if captured != nil {
+			return errStopNow
+		}
+		return nil
+	}
+	s := pvm.NewSimVM(platform.J90(), nil)
+	var err error
+	s.SpawnRoot("opal-client", func(task pvm.Task) {
+		_, err = RunParallel(task, sys, opts, 2, 20)
+	})
+	if e := s.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("run error = %v, want ErrCanceled", err)
+	}
+	if captured == nil {
+		t.Fatal("checkpoint not captured before cancellation")
+	}
+	// CheckpointAt fires at the first pair-list boundary >= step 4, and
+	// the cancel poll runs right after the capture on the same boundary.
+	if captured.Step != 4 {
+		t.Errorf("checkpoint at step %d, want 4", captured.Step)
+	}
+	var ce *CancelError
+	if !errors.As(err, &ce) || ce.Step != 4 {
+		t.Errorf("canceled at %v, want boundary 4", err)
+	}
+}

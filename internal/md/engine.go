@@ -8,6 +8,7 @@
 package md
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -124,6 +125,15 @@ type Options struct {
 	// spawn (<= 0: unlimited).  Once the budget is exhausted, further
 	// deaths degrade gracefully as without SelfHeal.
 	MaxRespawns int
+	// Cancel, when non-nil, is polled on the client after every completed
+	// step, after any checkpoint due at that boundary has been captured.
+	// Returning a non-nil cause stops the run there: the engine performs
+	// its normal shutdown handshake and returns a *CancelError wrapping
+	// the cause (errors.Is(err, ErrCanceled) reports true).  This is the
+	// cooperative cancellation hook the control plane's worker pool uses
+	// for per-job deadlines and graceful drain — a drain first requests a
+	// checkpoint via CheckpointAt, then cancels once the sink has it.
+	Cancel func() error
 	// Kills, with SelfHeal, is the administrative kill schedule: before
 	// the phases of step s, every server rank in Kills(s) is declared
 	// dead and healed without any timeout — the deterministic way to
@@ -391,6 +401,29 @@ func (c *clientState) finishStep(t pvm.Task, evdw, ecoul float64, grad []float64
 		GradMax: gmax,
 	}
 }
+
+// ErrCanceled marks a run stopped by Options.Cancel; errors.Is reports
+// it for every *CancelError the engines return.
+var ErrCanceled = errors.New("md: run canceled")
+
+// CancelError is the error a cooperatively canceled run returns.  Step
+// is the absolute number of completed steps (StartStep included) when
+// the cancellation took effect; Cause is what Options.Cancel returned.
+type CancelError struct {
+	Step  int
+	Cause error
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("md: run canceled after step %d: %v", e.Step, e.Cause)
+}
+
+// Unwrap exposes the cancellation cause to errors.Is/As.
+func (e *CancelError) Unwrap() error { return e.Cause }
+
+// Is reports true for ErrCanceled, so callers can test the class without
+// knowing the cause.
+func (e *CancelError) Is(target error) bool { return target == ErrCanceled }
 
 // validateRun checks run arguments shared by the engines.
 func validateRun(sys *molecule.System, steps int) error {

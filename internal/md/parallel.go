@@ -391,6 +391,17 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 		if opts.AfterStep != nil {
 			opts.AfterStep(step, fin)
 		}
+		if opts.Cancel != nil {
+			if cerr := opts.Cancel(); cerr != nil {
+				// Stop cleanly at the boundary: the shutdown handshake
+				// parks the servers exactly as a completed run would.
+				telemetry.Emit("run_canceled", telemetry.F{
+					"step": opts.StartStep + step + 1, "cause": cerr.Error(),
+				})
+				conn.Close()
+				return nil, &CancelError{Step: opts.StartStep + step + 1, Cause: cerr}
+			}
+		}
 		if opts.Minimize && opts.GradTol > 0 && fin.GradMax < opts.GradTol {
 			res.Converged = true
 			break

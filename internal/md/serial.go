@@ -79,6 +79,14 @@ func RunSerial(t pvm.Task, sys *molecule.System, opts Options, steps int) (*Resu
 			telemetry.MDCheckpointSecs.Observe(t.Now() - ckT0)
 			telemetry.Emit("checkpoint", telemetry.F{"step": opts.StartStep + step + 1})
 		}
+		if opts.Cancel != nil {
+			if cerr := opts.Cancel(); cerr != nil {
+				telemetry.Emit("run_canceled", telemetry.F{
+					"step": opts.StartStep + step + 1, "cause": cerr.Error(),
+				})
+				return nil, &CancelError{Step: opts.StartStep + step + 1, Cause: cerr}
+			}
+		}
 		if opts.Minimize && opts.GradTol > 0 && fin.GradMax < opts.GradTol {
 			res.Converged = true
 			break

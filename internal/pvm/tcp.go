@@ -2,6 +2,7 @@ package pvm
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -448,11 +449,16 @@ type TCPOptions struct {
 	// (triggering a reconnect).
 	Heartbeat time.Duration
 	// MaxReconnects bounds the reconnect attempts per outage before the
-	// session is declared permanently down (default 8, exponential
-	// backoff 5ms..500ms).  Negative disables reconnecting entirely.
+	// session is declared permanently down (default 8, full-jitter
+	// exponential backoff on a 5ms..500ms schedule).  Negative disables
+	// reconnecting entirely.
 	MaxReconnects int
 	// HandshakeTimeout bounds the welcome/resume exchange (default 5s).
 	HandshakeTimeout time.Duration
+	// ReconnectSeed seeds the jittered backoff schedule; 0 derives a
+	// per-session seed from the clock.  Tests pin it so reconnect
+	// timing is reproducible.
+	ReconnectSeed int64
 }
 
 func (o TCPOptions) withDefaults() TCPOptions {
@@ -648,20 +654,24 @@ func (v *TCPVM) connBroken(conn net.Conn) {
 	go v.reconnect()
 }
 
-// reconnect re-dials the daemon with exponential backoff and resumes the
-// session: both sides exchange how much they have received, then replay
-// the retained frames the other missed.
+// reconnect re-dials the daemon with full-jitter exponential backoff and
+// resumes the session: both sides exchange how much they have received,
+// then replay the retained frames the other missed.  The jitter is the
+// point — when a daemon restart breaks every session at once, uniform
+// draws over a growing window decorrelate the retry storm instead of
+// synchronizing it.
 func (v *TCPVM) reconnect() {
-	backoff := 5 * time.Millisecond
+	seed := v.opts.ReconnectSeed
+	if seed == 0 {
+		seed = time.Now().UnixNano() ^ int64(v.id)<<32
+	}
+	rng := rand.New(rand.NewSource(seed))
 	var lastErr error
 	for attempt := 0; attempt < v.opts.MaxReconnects; attempt++ {
 		select {
 		case <-v.stopc:
 			return
-		case <-time.After(backoff):
-		}
-		if backoff *= 2; backoff > 500*time.Millisecond {
-			backoff = 500 * time.Millisecond
+		case <-time.After(reconnectDelay(attempt, rng)):
 		}
 		conn, err := v.opts.Dial(v.addr)
 		if err != nil {
@@ -677,6 +687,17 @@ func (v *TCPVM) reconnect() {
 	}
 	v.fail(fmt.Errorf("pvm: session %d: reconnect gave up after %d attempts: %v",
 		v.id, v.opts.MaxReconnects, lastErr))
+}
+
+// reconnectDelay draws the full-jitter backoff before 0-based reconnect
+// attempt: uniform in (0, min(500ms, 5ms<<attempt)].
+func reconnectDelay(attempt int, rng *rand.Rand) time.Duration {
+	const base, ceil = 5 * time.Millisecond, 500 * time.Millisecond
+	window := base << uint(attempt)
+	if window > ceil || window <= 0 {
+		window = ceil
+	}
+	return time.Duration(rng.Int63n(int64(window))) + 1
 }
 
 // resumeOn performs the resume handshake and replay on a fresh conn.

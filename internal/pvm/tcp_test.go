@@ -1,6 +1,7 @@
 package pvm
 
 import (
+	"math/rand"
 	"net"
 	"runtime"
 	"sync"
@@ -711,4 +712,50 @@ func TestTCPTeardownLeaksNoGoroutines(t *testing.T) {
 		b.Wait()
 	}()
 	waitGoroutinesBack(t, base, 2)
+}
+
+// TestReconnectDelayFullJitterBounds pins the reconnect backoff contract:
+// every draw for attempt k is uniform in (0, min(500ms, 5ms<<k)], and a
+// pinned seed reproduces the schedule exactly while different seeds
+// decorrelate — the property that spreads a post-restart retry storm.
+func TestReconnectDelayFullJitterBounds(t *testing.T) {
+	const base, ceil = 5 * time.Millisecond, 500 * time.Millisecond
+	for attempt := 0; attempt < 12; attempt++ {
+		window := base << uint(attempt)
+		if window > ceil || window <= 0 {
+			window = ceil
+		}
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < 200; i++ {
+			d := reconnectDelay(attempt, rng)
+			if d <= 0 || d > window {
+				t.Fatalf("attempt %d draw %d: delay %v outside (0, %v]", attempt, i, d, window)
+			}
+		}
+	}
+	// Same seed, same schedule.
+	a, b := rand.New(rand.NewSource(7)), rand.New(rand.NewSource(7))
+	for attempt := 0; attempt < 8; attempt++ {
+		if da, db := reconnectDelay(attempt, a), reconnectDelay(attempt, b); da != db {
+			t.Fatalf("attempt %d: pinned seed produced %v then %v", attempt, da, db)
+		}
+	}
+	// Different seeds decorrelate somewhere in the schedule.
+	c, d := rand.New(rand.NewSource(1)), rand.New(rand.NewSource(2))
+	same := true
+	for attempt := 0; attempt < 8; attempt++ {
+		if reconnectDelay(attempt, c) != reconnectDelay(attempt, d) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical backoff schedules")
+	}
+	// The late window saturates: large attempts draw from (0, 500ms].
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		if d := reconnectDelay(30, rng); d <= 0 || d > ceil {
+			t.Fatalf("saturated window draw %v outside (0, %v]", d, ceil)
+		}
+	}
 }

@@ -1,11 +1,13 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // The HTTP plane: /metrics in Prometheus text format, /healthz reflecting
@@ -61,12 +63,25 @@ func Handler() http.Handler {
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		state, ok := Health()
+		comps, compsOK := ComponentHealth()
+		ok = ok && compsOK
 		w.Header().Set("Content-Type", "application/json")
 		if !ok {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}
-		fmt.Fprintf(w, "{\"state\":%q,\"ok\":%v,\"run\":%q,\"respawns\":%d,\"deaths\":%d}\n",
+		fmt.Fprintf(w, "{\"state\":%q,\"ok\":%v,\"run\":%q,\"respawns\":%d,\"deaths\":%d",
 			state, ok, Run(), SupRespawns.Value(), SupDeaths.Value())
+		if len(comps) > 0 {
+			fmt.Fprint(w, ",\"components\":{")
+			for i, c := range comps {
+				if i > 0 {
+					fmt.Fprint(w, ",")
+				}
+				fmt.Fprintf(w, "%q:{\"detail\":%q,\"ok\":%v}", c.Name, c.Detail, c.OK)
+			}
+			fmt.Fprint(w, "}")
+		}
+		fmt.Fprint(w, "}\n")
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -76,15 +91,50 @@ func Handler() http.Handler {
 	return mux
 }
 
+// Server hardening knobs.  Package variables rather than parameters so
+// Serve keeps its one-argument shape; the slow-loris regression test
+// lowers readHeaderTimeout to keep itself fast.
+var (
+	readHeaderTimeout = 5 * time.Second
+	readTimeout       = 30 * time.Second
+	writeTimeout      = 30 * time.Second
+	shutdownGrace     = 5 * time.Second
+)
+
 // Serve starts the telemetry endpoints on addr (e.g. "localhost:9100";
 // port 0 picks a free one) and returns the bound address and a stop
 // function.  The server runs until stop is called or the process exits.
+//
+// The server is hardened against misbehaving clients: header, read and
+// write timeouts bound every connection (a slow-loris peer is cut off at
+// readHeaderTimeout), and stop drains gracefully — in-flight responses
+// get shutdownGrace to finish before the listener is torn down.
 func Serve(addr string) (bound string, stop func(), err error) {
+	return ServeHandler(addr, Handler())
+}
+
+// ServeHandler is Serve with a caller-supplied handler — the control
+// plane mounts its API this way so its endpoints share the hardened
+// server and graceful shutdown with the plain telemetry plane.
+func ServeHandler(addr string, h http.Handler) (bound string, stop func(), err error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler()}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+	}
 	go srv.Serve(ln)
-	return ln.Addr().String(), func() { srv.Close() }, nil
+	stop = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			// Grace expired with connections still open: cut them.
+			srv.Close()
+		}
+	}
+	return ln.Addr().String(), stop, nil
 }

@@ -22,6 +22,8 @@ package telemetry
 import (
 	"crypto/rand"
 	"encoding/hex"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -86,3 +88,58 @@ func Health() (state string, ok bool) {
 
 // ResetHealth restores the initial "idle" health state (tests).
 func ResetHealth() { health.Store(nil) }
+
+// Component health: long-lived services (the control plane's queue and
+// circuit breaker, for instance) register named suppliers that /healthz
+// consults per request, so service-level saturation degrades health the
+// same way a degraded supervisor does.
+
+// ComponentStatus is one registered component's current report.
+type ComponentStatus struct {
+	Name   string
+	Detail string
+	OK     bool
+}
+
+var (
+	compMu sync.Mutex
+	comps  = map[string]func() (detail string, ok bool){}
+)
+
+// RegisterHealth installs (or, with a nil supplier, removes) a named
+// component health supplier.  Suppliers must be cheap and non-blocking:
+// they run on every /healthz request.
+func RegisterHealth(name string, fn func() (detail string, ok bool)) {
+	compMu.Lock()
+	defer compMu.Unlock()
+	if fn == nil {
+		delete(comps, name)
+		return
+	}
+	comps[name] = fn
+}
+
+// ComponentHealth polls every registered supplier, name-sorted, and
+// reports whether all of them (possibly none) are healthy.
+func ComponentHealth() (statuses []ComponentStatus, allOK bool) {
+	compMu.Lock()
+	names := make([]string, 0, len(comps))
+	for name := range comps {
+		names = append(names, name)
+	}
+	fns := make([]func() (string, bool), len(names))
+	sort.Strings(names)
+	for i, name := range names {
+		fns[i] = comps[name]
+	}
+	compMu.Unlock()
+	allOK = true
+	for i, name := range names {
+		detail, ok := fns[i]()
+		if !ok {
+			allOK = false
+		}
+		statuses = append(statuses, ComponentStatus{Name: name, Detail: detail, OK: ok})
+	}
+	return statuses, allOK
+}

@@ -1,0 +1,179 @@
+package opalperf
+
+// opald end-to-end smoke: boot the daemon, drive one run and a thousand
+// predictions through the real HTTP surface, then SIGTERM it and check
+// the graceful-drain contract — exit 0 and a flushed, parseable journal.
+// `make opald-smoke` runs exactly this test.
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestOpaldSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := buildCommands(t)
+	journal := filepath.Join(t.TempDir(), "opald.jsonl")
+
+	cmd := exec.Command(filepath.Join(dir, "opald"),
+		"-addr", "localhost:0", "-workers", "2", "-journal", journal,
+		"-predict-rate", "1e6", "-predict-burst", "1e6")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The readiness line carries the bound address (port 0 picks one).
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "on http://"); i >= 0 {
+			base = "http://" + strings.TrimSpace(line[i+len("on http://"):])
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("opald never announced its address: %v", sc.Err())
+	}
+	// Keep draining stdout so the daemon never blocks on a full pipe.
+	tail := make(chan string, 1)
+	go func() {
+		var lines []string
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		tail <- strings.Join(lines, "\n")
+	}()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// Submit one real run and poll it to completion.
+	resp, err := client.Post(base+"/v1/runs", "application/json",
+		strings.NewReader(`{"size":"small","scale":0.02,"servers":2,"steps":6,"update_every":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || acc.JobID == "" {
+		t.Fatalf("submit: status %d job %q", resp.StatusCode, acc.JobID)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := client.Get(base + "/v1/runs/" + acc.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view struct {
+			State  string `json:"state"`
+			Result *struct {
+				Energies []float64 `json:"energies"`
+			} `json:"result"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if view.State == "done" {
+			if view.Result == nil || len(view.Result.Energies) != 6 {
+				t.Fatalf("done without full result: %+v", view)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", acc.JobID, view.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Hammer the hot read path: 1k predictions must all answer 200.
+	predictURL := base + "/v1/predict?platform=j90&size=small&servers=8&steps=100"
+	for i := 0; i < 1000; i++ {
+		resp, err := client.Get(predictURL)
+		if err != nil {
+			t.Fatalf("predict %d: %v", i, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	// Graceful drain: SIGTERM must exit 0 with the journal flushed.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("opald exited non-zero after SIGTERM: %v\n%s", err, <-tail)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("opald did not exit within 30s of SIGTERM")
+	}
+	if out := <-tail; !strings.Contains(out, "drained, exiting") {
+		t.Fatalf("missing drain confirmation in output:\n%s", out)
+	}
+
+	// The journal must be flushed JSONL carrying the service lifecycle.
+	events := readJournalEvents(t, journal)
+	for _, want := range []string{"service_start", "ctl_job_accepted", "ctl_job_done", "drain_start", "drain_done"} {
+		if !events[want] {
+			t.Errorf("journal lacks %q event (have %v)", want, keysOf(events))
+		}
+	}
+}
+
+func readJournalEvents(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("journal unreadable: %v", err)
+	}
+	events := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" {
+			continue
+		}
+		var doc struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal([]byte(line), &doc); err != nil {
+			t.Fatalf("journal line %d is not JSON: %v\n%s", i+1, err, line)
+		}
+		events[doc.Type] = true
+	}
+	return events
+}
+
+func keysOf(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+

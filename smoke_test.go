@@ -5,6 +5,7 @@ package opalperf
 // Go toolchain; skip them with -short.
 
 import (
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -13,18 +14,33 @@ import (
 )
 
 // buildAll compiles all commands into a temp dir once per test binary.
+// The dir must outlive the first caller (several tests share the cache),
+// so it is created with os.MkdirTemp and removed in TestMain, not tied to
+// any one test's TempDir.
 var builtDir string
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if builtDir != "" {
+		os.RemoveAll(builtDir)
+	}
+	os.Exit(code)
+}
 
 func buildCommands(t *testing.T) string {
 	t.Helper()
 	if builtDir != "" {
 		return builtDir
 	}
-	dir := t.TempDir()
+	dir, err := os.MkdirTemp("", "opalperf-cmds-")
+	if err != nil {
+		t.Fatalf("mktemp: %v", err)
+	}
 	cmd := exec.Command("go", "build", "-o", dir+string(os.PathSeparator), "./cmd/...")
 	cmd.Env = os.Environ()
 	out, err := cmd.CombinedOutput()
 	if err != nil {
+		os.RemoveAll(dir)
 		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
 	}
 	builtDir = dir
@@ -117,6 +133,23 @@ func TestCommandSmoke(t *testing.T) {
 			"-checkpoint-every", "-1")
 		if !strings.Contains(out, "must be non-negative") {
 			t.Errorf("negative -checkpoint-every not diagnosed:\n%s", out)
+		}
+	})
+	t.Run("opal-http-address-taken", func(t *testing.T) {
+		// Occupy a port, then point -http at it: the failure must name
+		// the flag and the address, not just echo a bare listen error.
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+		out := runBuiltErr(t, dir, "opal",
+			"-size", "small", "-scale", "0.1", "-servers", "2", "-steps", "2",
+			"-http", ln.Addr().String())
+		for _, want := range []string{"cannot serve -http", ln.Addr().String()} {
+			if !strings.Contains(out, want) {
+				t.Errorf("bound -http address not diagnosed (missing %q):\n%s", want, out)
+			}
 		}
 	})
 	t.Run("scenario", func(t *testing.T) {
