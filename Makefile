@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json check chaos scenarios cover fuzz figures clean telemetry-budget perf-gate opald-smoke service-chaos
+.PHONY: all build test race bench bench-json check chaos scenarios cover fuzz figures clean telemetry-budget perf-gate opald-smoke service-chaos archive-check
 
 # Seeds per scenario when sweeping the checked-in chaos corpus.
 SCENARIO_SEEDS ?= 10
@@ -47,6 +47,14 @@ service-chaos:
 opald-smoke:
 	$(GO) test -count=1 -run TestOpaldSmoke .
 
+# The run-archive plane: warehouse crash-safety (SIGKILL child, corrupt
+# corpus), query/watchdog units, the opalquery goldens, and the opald
+# restart-persistence end-to-end test (duplicate served from the
+# persisted result store without re-execution).
+archive-check:
+	$(GO) test -race -count=1 ./internal/archive/ ./cmd/opalquery/
+	$(GO) test -count=1 -run TestOpaldRestartServesArchivedResult .
+
 # The full tier-1 gate: what CI runs.
 check:
 	$(GO) vet ./...
@@ -56,6 +64,7 @@ check:
 	$(MAKE) scenarios
 	$(MAKE) service-chaos
 	$(MAKE) opald-smoke
+	$(MAKE) archive-check
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -107,6 +116,7 @@ fuzz:
 	$(GO) test ./internal/molecule/ -run xxx -fuzz FuzzRead -fuzztime 15s
 	$(GO) test ./internal/md/ -run xxx -fuzz FuzzReadCheckpoint -fuzztime 15s
 	$(GO) test ./internal/scenario/ -run xxx -fuzz FuzzScenarioParse -fuzztime 15s
+	$(GO) test ./internal/archive/ -run xxx -fuzz FuzzArchiveRead -fuzztime 15s
 
 # Regenerate every paper table and figure at full problem scale (minutes).
 figures:

@@ -21,6 +21,7 @@ import (
 	"os"
 	"strings"
 
+	"opalperf/internal/archive"
 	"opalperf/internal/core"
 	"opalperf/internal/fault"
 	"opalperf/internal/harness"
@@ -69,6 +70,9 @@ func main() {
 		oracleWin  = flag.Int("oracle-window", 5, "oracle evaluation window in steps (a multiple of -update keeps windows uniform)")
 		modelz     = flag.Bool("modelz", false, "print the oracle's end-of-run predicted-vs-measured report (requires -oracle); the live /modelz endpoint is served under -http")
 		lodFlag    = flag.String("lod", "", "level-of-detail macro replay: auto (on when the run is provably fault-free), on, off; default consults OPAL_LOD")
+		archDir    = flag.String("archive", "", "append this run's journal events and summary to the persistent run archive at this directory (query with opalquery)")
+		watchdog   = flag.Bool("watchdog", false, "judge this run against the archived rolling baseline for its spec; exit 3 on a flagged regression (requires -archive)")
+		watchTol   = flag.Float64("watchdog-tol", 1.25, "watchdog wall-time tolerance factor over the baseline median")
 	)
 	flag.Parse()
 
@@ -91,6 +95,22 @@ func main() {
 		j.SetMaxBytes(*jMaxBytes)
 	}
 	defer telemetry.StopJournal()
+	if *watchdog && *archDir == "" {
+		fatal(fmt.Errorf("-watchdog requires -archive"))
+	}
+	var arch *archive.Archive
+	if *archDir != "" {
+		var err error
+		arch, err = archive.Open(*archDir)
+		if err != nil {
+			fatal(err)
+		}
+		j.SetMirror(arch.MirrorEvent)
+		defer func() {
+			j.SetMirror(nil)
+			arch.Close()
+		}()
+	}
 	defer func() {
 		// A panicking run dumps the flight recorder before dying: the last
 		// N lifecycle events are the crash context.
@@ -230,6 +250,9 @@ func main() {
 		Servers:  *servers,
 		Steps:    *steps,
 	}
+	if arch != nil {
+		spec.Archive = &archive.Sink{Archive: arch}
+	}
 	if *faultRate > 0 {
 		cfg := fault.Uniform(*faultSeed, *faultRate)
 		spec.Faults = &cfg
@@ -362,6 +385,37 @@ func main() {
 	}
 	if xyzOut != nil {
 		fmt.Printf("trajectory: %d frames in %s\n", opts.Trajectory.Frames(), *xyzFile)
+	}
+
+	if *watchdog {
+		// This run's summary is already archived (the sink wrote it inside
+		// harness.Run); judge it against the rest of its spec's history.
+		runID := telemetry.Run()
+		hist := arch.Summaries(archive.Query{Spec: harness.SpecHashOf(spec)})
+		var mine archive.RunSummary
+		found := false
+		others := make([]archive.RunSummary, 0, len(hist))
+		for _, h := range hist {
+			if !found && h.Run == runID {
+				mine, found = h, true
+				continue
+			}
+			others = append(others, h)
+		}
+		if !found {
+			fatal(fmt.Errorf("-watchdog: this run's summary did not reach the archive"))
+		}
+		tol := archive.DefaultTolerance()
+		tol.WallFactor = *watchTol
+		rep := archive.Watch(others, mine, tol)
+		fmt.Println(rep.String())
+		if rep.Flagged {
+			// Exit 3 skips the defers, so flush them by hand first.
+			j.SetMirror(nil)
+			arch.Close()
+			telemetry.StopJournal()
+			os.Exit(3)
+		}
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"opalperf/internal/archive"
 	"opalperf/internal/ctlplane"
 	"opalperf/internal/telemetry"
 )
@@ -57,6 +58,8 @@ func main() {
 		journal   = flag.String("journal", "", "append a JSONL journal of service and run lifecycle events to this file")
 		flightN   = flag.Int("flight", 256, "flight-recorder depth: last N journal events dumped to stderr on crash")
 		jMaxBytes = flag.Int64("journal-max-bytes", 0, "cap the JSONL journal file at this many bytes (0 = unbounded)")
+
+		archiveDir = flag.String("archive", "", "persistent run archive directory: completed results survive restarts (duplicates served without re-execution), journal events and run summaries are warehoused for opalquery")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -83,6 +86,26 @@ func main() {
 	}
 	defer telemetry.StopJournal()
 
+	// This defer runs before the journal's (LIFO), so the mirror must be
+	// uninstalled before the archive closes — late drain events then skip
+	// the warehouse instead of hitting a closed file.
+	var arch *archive.Archive
+	if *archiveDir != "" {
+		var err error
+		arch, err = archive.Open(*archiveDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opald: cannot open archive: %v\n", err)
+			os.Exit(1)
+		}
+		j.SetMirror(arch.MirrorEvent)
+		defer func() {
+			j.SetMirror(nil)
+			if err := arch.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "opald: archive close: %v\n", err)
+			}
+		}()
+	}
+
 	srv := ctlplane.New(ctlplane.Config{
 		Workers:          *workers,
 		QueueCap:         *queueCap,
@@ -96,8 +119,15 @@ func main() {
 		BreakerCooldown:  *brkCooldown,
 		JobDeadline:      *jobDeadline,
 		Limits:           ctlplane.Limits{MaxSteps: *maxSteps, MaxServers: *maxServers},
+		Archive:          arch,
 	})
 	srv.Start()
+
+	// Catch signals before announcing readiness: supervisors SIGTERM as
+	// soon as they see the ready line, and a signal landing before
+	// Notify would kill the process with the drain skipped.
+	sigC := make(chan os.Signal, 1)
+	signal.Notify(sigC, syscall.SIGTERM, syscall.SIGINT)
 
 	// Bind before announcing readiness; a taken port is a clear, early
 	// exit rather than a half-started daemon.
@@ -108,8 +138,6 @@ func main() {
 	}
 	fmt.Printf("opald: serving /v1/runs, /v1/predict, /metrics, /healthz on http://%s\n", bound)
 
-	sigC := make(chan os.Signal, 1)
-	signal.Notify(sigC, syscall.SIGTERM, syscall.SIGINT)
 	sig := <-sigC
 	fmt.Printf("opald: %s received, draining\n", sig)
 

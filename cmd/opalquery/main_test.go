@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"opalperf/internal/archive"
+)
+
+// seedArchive builds a deterministic warehouse: two specs, fixed stamps,
+// one spec with a chaos cohort and residuals, plus a few journal events.
+func seedArchive(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	a, err := archive.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	base := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC).UnixNano()
+	tick := int64(time.Minute)
+
+	// Spec A: five fault-free runs with identical energies, drifting
+	// residuals; the last one 30% slower (the watchdog's prey).
+	for i := 0; i < 5; i++ {
+		wall := 10.0
+		if i == 4 {
+			wall = 13.0
+		}
+		sum := archive.RunSummary{
+			Run: fmt.Sprintf("run-a%02d", i), Spec: "spec-aaa", Tenant: "alice",
+			Label: "j90/small", Platform: "Cray J90 Classic", System: "small",
+			Servers: 4, Steps: 100, Wall: wall,
+			EnergiesHash: "cafe0123deadbeef", FinalEnergy: 1822.5,
+			Par: 6.0, Seq: 0.5, Comm: 2.0, Sync: 1.0, Idle: 0.5,
+			Residuals: map[string]float64{
+				"comm": 0.001 * float64(i+1),
+				"sync": -0.0005 * float64(i+1),
+			},
+			Unix: base + int64(i)*tick,
+		}
+		if err := a.AppendSummary(sum); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Spec B: three fault-free and two chaos runs, no residuals.
+	for i := 0; i < 5; i++ {
+		sum := archive.RunSummary{
+			Run: fmt.Sprintf("run-b%02d", i), Spec: "spec-bbb", Tenant: "bob",
+			Label: "sp2/medium", Platform: "IBM SP2", System: "medium",
+			Servers: 8, Steps: 200, Wall: 20.0 + float64(i),
+			EnergiesHash: "feed4567beefcafe", FinalEnergy: 3644.25,
+			Chaos: i >= 3,
+			Unix:  base + int64(i+10)*tick,
+		}
+		if err := a.AppendSummary(sum); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Journal events for one run, counted by show.
+	for i, typ := range []string{"run_start", "step", "run_end"} {
+		line, _ := json.Marshal(map[string]any{"type": typ})
+		if err := a.Append(archive.Record{
+			Kind: archive.KindEvent, Run: "run-a00",
+			Unix: base + int64(i), Data: line,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// goldenCases maps each golden file to the invocation that produces it.
+var goldenCases = []struct {
+	name string
+	args []string
+	code int
+}{
+	{"list", []string{"list"}, 0},
+	{"list_tenant", []string{"list", "-tenant", "bob"}, 0},
+	{"show", []string{"show", "run-a00"}, 0},
+	{"percentiles", []string{"percentiles"}, 0},
+	{"percentiles_split", []string{"percentiles", "-spec", "spec-bbb", "-split"}, 0},
+	{"residuals", []string{"residuals", "-spec", "spec-aaa"}, 0},
+	{"diff", []string{"diff", "spec-aaa", "spec-bbb"}, 0},
+	{"watch_flagged", []string{"watch", "-spec", "spec-aaa"}, 2},
+	{"watch_ok", []string{"watch", "-spec", "spec-bbb", "-factor", "2.0"}, 0},
+}
+
+func TestGolden(t *testing.T) {
+	dir := seedArchive(t)
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(append([]string{"-archive", dir}, tc.args...), &stdout, &stderr)
+			if code != tc.code {
+				t.Fatalf("exit %d, want %d\nstdout:\n%s\nstderr:\n%s", code, tc.code, stdout.String(), stderr.String())
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if os.Getenv("OPALQUERY_UPDATE") != "" {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, stdout.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with OPALQUERY_UPDATE=1 to create): %v", err)
+			}
+			if got := stdout.String(); got != string(want) {
+				t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+func TestWatchFlagsSlowedRunAndPassesUnchanged(t *testing.T) {
+	dir := t.TempDir()
+	a, err := archive.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 8, 2, 9, 0, 0, 0, time.UTC).UnixNano()
+	appendRun := func(i int, wall float64) {
+		t.Helper()
+		if err := a.AppendSummary(archive.RunSummary{
+			Run: fmt.Sprintf("run-%02d", i), Spec: "spec-x",
+			Wall: wall, EnergiesHash: "aaaa000011112222",
+			Unix: base + int64(i)*int64(time.Second),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		appendRun(i, 5.0)
+	}
+	a.Close()
+
+	// Unchanged newest run passes with exit 0.
+	var out, errb bytes.Buffer
+	if code := run([]string{"-archive", dir, "watch"}, &out, &errb); code != 0 {
+		t.Fatalf("unchanged run flagged: exit %d\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "watchdog ok") {
+		t.Fatalf("missing ok verdict:\n%s", out.String())
+	}
+
+	// A synthetically slowed run (x1.5) must trip a nonzero exit.
+	a, err = archive.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AppendSummary(archive.RunSummary{
+		Run: "run-slow", Spec: "spec-x", Wall: 7.5,
+		EnergiesHash: "aaaa000011112222",
+		Unix:         base + 100*int64(time.Second),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-archive", dir, "watch"}, &out, &errb); code != 2 {
+		t.Fatalf("slowed run not flagged: exit %d\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "FLAGGED") || !strings.Contains(out.String(), "run-slow") {
+		t.Fatalf("verdict missing detail:\n%s", out.String())
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	dir := seedArchive(t)
+	for _, tc := range []struct {
+		args []string
+		code int
+	}{
+		{[]string{}, 2},
+		{[]string{"-archive", dir}, 2},
+		{[]string{"-archive", dir, "nonsense"}, 2},
+		{[]string{"-archive", dir, "show"}, 2},
+		{[]string{"-archive", dir, "show", "no-such-run"}, 1},
+		{[]string{"-archive", dir, "diff", "spec-aaa"}, 2},
+		{[]string{"-archive", dir, "diff", "spec-aaa", "no-such-spec"}, 1},
+		{[]string{"-archive", dir, "percentiles", "-spec", "no-such-spec"}, 1},
+		{[]string{"-archive", dir, "residuals", "-spec", "spec-bbb"}, 1},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(tc.args, &stdout, &stderr); code != tc.code {
+			t.Errorf("run(%v) = %d, want %d\nstderr: %s", tc.args, code, tc.code, stderr.String())
+		}
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"opalperf/internal/archive"
 	"opalperf/internal/scenario"
 	"opalperf/internal/telemetry"
 )
@@ -42,6 +43,8 @@ run flags:
   -seeds N          sweep each scenario over N fault/kill seeds (default 1)
   -jobs N           concurrent simulations per sweep (default GOMAXPROCS)
   -journal FILE     append the JSONL run journal to FILE
+  -archive DIR      archive one run summary per sweep into the persistent
+                    warehouse (query with opalquery)
   -deterministic    pin the journal clock and run ID so identical runs
                     render byte-identical journals (use with -jobs 1)
   -v                print every check, not only failures
@@ -144,6 +147,7 @@ func cmdRun(stdout io.Writer, args []string) error {
 	seeds := fs.Int("seeds", 1, "sweep each scenario over N fault/kill seeds")
 	jobs := fs.Int("jobs", 0, "concurrent simulations per sweep (0 = GOMAXPROCS)")
 	journal := fs.String("journal", "", "append the JSONL run journal to this file")
+	archiveDir := fs.String("archive", "", "archive one run summary per sweep into this warehouse directory")
 	deterministic := fs.Bool("deterministic", false, "pin the journal clock and run ID for byte-identical replays")
 	verbose := fs.Bool("v", false, "print every check, not only failures")
 	if err := fs.Parse(args); err != nil {
@@ -152,6 +156,13 @@ func cmdRun(stdout io.Writer, args []string) error {
 	specs, err := gather(fs.Args())
 	if err != nil {
 		return err
+	}
+	var arch *archive.Archive
+	if *archiveDir != "" {
+		if arch, err = archive.Open(*archiveDir); err != nil {
+			return err
+		}
+		defer arch.Close()
 	}
 	if *journal != "" || *deterministic {
 		telemetry.SetEnabled(true)
@@ -177,6 +188,16 @@ func cmdRun(stdout io.Writer, args []string) error {
 	failed := 0
 	for _, spec := range specs {
 		reports := scenario.Sweep(spec, *seeds, *jobs)
+		if arch != nil {
+			for _, r := range reports {
+				if r.Err != nil {
+					continue // no run, nothing to warehouse
+				}
+				if err := arch.AppendSummary(scenario.Summarize(spec, r)); err != nil {
+					return fmt.Errorf("archiving %s sweep %d: %w", spec.Name, r.Sweep, err)
+				}
+			}
+		}
 		failed += summarize(stdout, spec, reports, *verbose)
 	}
 	total := len(specs) * *seeds

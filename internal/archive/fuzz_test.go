@@ -1,0 +1,121 @@
+package archive
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"testing"
+)
+
+// frame encodes one record the way appendLocked does — tests and seed
+// corpus construction share it.
+func frame(payload []byte) []byte {
+	out := make([]byte, 8+len(payload))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[4:8], crc32.Checksum(payload, castagnoli))
+	copy(out[8:], payload)
+	return out
+}
+
+func validSegment(t testing.TB, recs ...Record) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(segMagic)
+	for _, r := range recs {
+		payload, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame(payload))
+	}
+	return buf.Bytes()
+}
+
+// FuzzArchiveRead pins ReadSegment's hostile-input contract: never
+// panic, never allocate past MaxRecordBytes for one record, and always
+// return a valid offset (0 <= valid <= len(input)) such that the prefix
+// re-reads to the same records.
+func FuzzArchiveRead(f *testing.F) {
+	// Seeds: the checked-in corrupt corpus plus constructed edge cases.
+	f.Add([]byte{})
+	f.Add([]byte(segMagic))
+	f.Add([]byte("NOTMAGIC"))
+	f.Add([]byte(segMagic + "\x00\x00\x00"))                              // torn header
+	f.Add([]byte(segMagic + "\xff\xff\xff\xff\x00\x00\x00\x00"))          // implausible length
+	f.Add([]byte(segMagic + "\x00\x00\x00\x05\xde\xad\xbe\xef{\"a\":1}")) // CRC mismatch
+	f.Add([]byte(segMagic + "\x00\x00\x00\x00\x00\x00\x00\x00"))          // zero length
+	good := validSegment(f, Record{Kind: KindEvent, Run: "r", Unix: 1, Data: json.RawMessage(`{"x":1}`)},
+		Record{Kind: KindSummary, Run: "r", Spec: "s", Unix: 2, Data: json.RawMessage(`{"wall":1.5}`)})
+	f.Add(good)
+	f.Add(good[:len(good)-3]) // torn payload tail
+	notJSON := append([]byte(segMagic), frame([]byte("not json at all"))...)
+	f.Add(notJSON) // valid CRC, undecodable record
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, valid, err := ReadSegment(bytes.NewReader(data))
+		if valid < 0 || valid > int64(len(data)) {
+			t.Fatalf("valid offset %d out of range [0,%d]", valid, len(data))
+		}
+		if err == nil && len(data) >= len(segMagic) && valid < int64(len(segMagic)) {
+			t.Fatalf("clean read of a magic-bearing stream reported offset %d before the magic", valid)
+		}
+		// The valid prefix must re-read to exactly the same records — the
+		// torn-tail truncation in recover() relies on this.
+		if valid >= int64(len(segMagic)) {
+			recs2, valid2, err2 := ReadSegment(bytes.NewReader(data[:valid]))
+			if err2 != nil {
+				t.Fatalf("valid prefix re-read failed: %v", err2)
+			}
+			if valid2 != valid || len(recs2) != len(recs) {
+				t.Fatalf("prefix re-read diverged: %d/%d records at offset %d/%d", len(recs2), len(recs), valid2, valid)
+			}
+		}
+	})
+}
+
+// TestCorruptCorpus runs ReadSegment over the checked-in corrupt-segment
+// corpus and asserts each file's expected outcome — the corpus documents
+// the failure modes recovery must survive.
+func TestCorruptCorpus(t *testing.T) {
+	cases := []struct {
+		name      string
+		data      []byte
+		wantRecs  int
+		wantError bool
+	}{
+		{"empty", nil, 0, true},
+		{"magic_only", []byte(segMagic), 0, false},
+		{"bad_magic", []byte("XXXXXXXX" + "rest"), 0, true},
+		{"torn_header", []byte(segMagic + "\x00\x00"), 0, true},
+		{"zero_length", []byte(segMagic + "\x00\x00\x00\x00\x00\x00\x00\x00"), 0, true},
+		{"huge_length", []byte(segMagic + "\x7f\xff\xff\xff\x00\x00\x00\x00"), 0, true},
+		{"crc_mismatch", []byte(segMagic + "\x00\x00\x00\x02\x00\x00\x00\x00{}"), 0, true},
+		{"not_json", append([]byte(segMagic), frame([]byte("@@"))...), 0, true},
+		{
+			"good_then_torn",
+			append(validSegment(t, Record{Kind: KindEvent, Run: "r", Unix: 1}), 0x00, 0x00, 0x00, 0x10),
+			1, true,
+		},
+		{
+			"two_good",
+			validSegment(t,
+				Record{Kind: KindEvent, Run: "a", Unix: 1},
+				Record{Kind: KindEvent, Run: "b", Unix: 2}),
+			2, false,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			recs, valid, err := ReadSegment(bytes.NewReader(tc.data))
+			if (err != nil) != tc.wantError {
+				t.Fatalf("error = %v, wantError = %v", err, tc.wantError)
+			}
+			if len(recs) != tc.wantRecs {
+				t.Fatalf("records = %d, want %d", len(recs), tc.wantRecs)
+			}
+			if valid > int64(len(tc.data)) {
+				t.Fatalf("valid offset %d past end %d", valid, len(tc.data))
+			}
+		})
+	}
+}

@@ -1,0 +1,192 @@
+package archive
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+	"time"
+)
+
+// The query layer: filtering over the envelope index, decoded summary
+// streams, percentile aggregation, residual drift series and cohort
+// comparison — the cross-run analytics plane opalquery and the watchdog
+// are built on.
+
+// Query filters records on their envelope fields.  Zero-valued fields
+// match everything.
+type Query struct {
+	Kind   string
+	Run    string
+	Spec   string
+	Tenant string
+	Since  time.Time // inclusive; zero = unbounded
+	Until  time.Time // exclusive; zero = unbounded
+}
+
+func (q Query) match(r Record) bool {
+	if q.Kind != "" && r.Kind != q.Kind {
+		return false
+	}
+	if q.Run != "" && r.Run != q.Run {
+		return false
+	}
+	if q.Spec != "" && r.Spec != q.Spec {
+		return false
+	}
+	if q.Tenant != "" && r.Tenant != q.Tenant {
+		return false
+	}
+	if !q.Since.IsZero() && r.Unix < q.Since.UnixNano() {
+		return false
+	}
+	if !q.Until.IsZero() && r.Unix >= q.Until.UnixNano() {
+		return false
+	}
+	return true
+}
+
+// Select returns the matching records in append order.
+func (a *Archive) Select(q Query) []Record {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []Record
+	for _, r := range a.recs {
+		if q.match(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Summaries returns the decoded run summaries matching q (Kind is forced
+// to KindSummary), ordered by time then run ID.  Undecodable summary
+// records are skipped — the warehouse outlives schema evolution.
+func (a *Archive) Summaries(q Query) []RunSummary {
+	q.Kind = KindSummary
+	var out []RunSummary
+	for _, r := range a.Select(q) {
+		var s RunSummary
+		if err := json.Unmarshal(r.Data, &s); err != nil {
+			continue
+		}
+		s.Unix = r.Unix
+		out = append(out, s)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Unix != out[j].Unix {
+			return out[i].Unix < out[j].Unix
+		}
+		return out[i].Run < out[j].Run
+	})
+	return out
+}
+
+// Specs returns the distinct spec hashes that have summaries, sorted.
+func (a *Archive) Specs() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, r := range a.recs {
+		if r.Kind == KindSummary && r.Spec != "" && !seen[r.Spec] {
+			seen[r.Spec] = true
+			out = append(out, r.Spec)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Percentile returns the p-th percentile (0..100) of xs by the
+// nearest-rank method — deterministic and golden-testable, no
+// interpolation.  NaN on an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}
+
+// Cohort is the percentile digest of one group of runs.
+type Cohort struct {
+	Count                   int
+	Min, P50, P90, P99, Max float64
+	Mean                    float64
+}
+
+// CohortOf digests a wall-time sample.
+func CohortOf(walls []float64) Cohort {
+	c := Cohort{Count: len(walls)}
+	if len(walls) == 0 {
+		c.Min, c.P50, c.P90, c.P99, c.Max, c.Mean = math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN(), math.NaN()
+		return c
+	}
+	var sum float64
+	for _, w := range walls {
+		sum += w
+	}
+	c.Mean = sum / float64(len(walls))
+	c.Min = Percentile(walls, 0)
+	c.P50 = Percentile(walls, 50)
+	c.P90 = Percentile(walls, 90)
+	c.P99 = Percentile(walls, 99)
+	c.Max = Percentile(walls, 100)
+	return c
+}
+
+// Walls projects a summary slice onto its makespans.
+func Walls(sums []RunSummary) []float64 {
+	out := make([]float64, len(sums))
+	for i, s := range sums {
+		out[i] = s.Wall
+	}
+	return out
+}
+
+// SplitCohorts divides summaries into the fault-free and chaos cohorts —
+// the distributional comparison Cornebize & Legrand argue for: the same
+// spec's behaviour with and without an adversarial environment.
+func SplitCohorts(sums []RunSummary) (faultFree, chaos []RunSummary) {
+	for _, s := range sums {
+		if s.Chaos {
+			chaos = append(chaos, s)
+		} else {
+			faultFree = append(faultFree, s)
+		}
+	}
+	return faultFree, chaos
+}
+
+// DriftPoint is one run's per-term residual sample in a drift series.
+type DriftPoint struct {
+	Run       string
+	Unix      int64
+	Residuals map[string]float64
+}
+
+// ResidualDrift extracts the oracle residual series from a time-ordered
+// summary slice, skipping runs that carried no oracle.  Plotted over
+// weeks of service runs this is the model-drift trend the sliding-window
+// recalibration (DESIGN.md section 13) reacts to.
+func ResidualDrift(sums []RunSummary) []DriftPoint {
+	var out []DriftPoint
+	for _, s := range sums {
+		if len(s.Residuals) == 0 {
+			continue
+		}
+		out = append(out, DriftPoint{Run: s.Run, Unix: s.Unix, Residuals: s.Residuals})
+	}
+	return out
+}

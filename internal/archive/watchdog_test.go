@@ -1,0 +1,107 @@
+package archive
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func baseline(n int, wall float64, hash string) []RunSummary {
+	out := make([]RunSummary, n)
+	for i := range out {
+		out[i] = RunSummary{
+			Run: fmt.Sprintf("base-%02d", i), Spec: "s", Wall: wall,
+			EnergiesHash: hash, Unix: int64(i + 1),
+		}
+	}
+	return out
+}
+
+func TestWatchPassesUnchangedRun(t *testing.T) {
+	hist := baseline(8, 10.0, "h1")
+	rep := Watch(hist, RunSummary{Run: "new", Spec: "s", Wall: 10.1, EnergiesHash: "h1", Unix: 100}, DefaultTolerance())
+	if rep.Flagged {
+		t.Fatalf("unchanged run flagged: %+v", rep)
+	}
+	if rep.BaselineWall != 10.0 || rep.BaselineRuns != 8 {
+		t.Fatalf("baseline wrong: %+v", rep)
+	}
+}
+
+func TestWatchFlagsSlowedRun(t *testing.T) {
+	hist := baseline(8, 10.0, "h1")
+	rep := Watch(hist, RunSummary{Run: "slow", Spec: "s", Wall: 13.0, EnergiesHash: "h1", Unix: 100}, DefaultTolerance())
+	if !rep.Flagged {
+		t.Fatalf("30%% slowdown not flagged against 1.25 tolerance: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "FLAGGED") {
+		t.Fatalf("report string lacks FLAGGED: %s", rep.String())
+	}
+	if rep.Ratio < 1.29 || rep.Ratio > 1.31 {
+		t.Fatalf("ratio = %v, want ~1.3", rep.Ratio)
+	}
+}
+
+func TestWatchFlagsEnergiesDivergence(t *testing.T) {
+	hist := baseline(5, 10.0, "h1")
+	rep := Watch(hist, RunSummary{Run: "det", Spec: "s", Wall: 10.0, EnergiesHash: "DIFFERENT", Unix: 100}, DefaultTolerance())
+	if !rep.Flagged {
+		t.Fatal("energies divergence not flagged")
+	}
+	// No consensus in the baseline (mixed hashes) -> no determinism call.
+	mixed := baseline(5, 10.0, "h1")
+	mixed[2].EnergiesHash = "h2"
+	rep = Watch(mixed, RunSummary{Run: "det", Spec: "s", Wall: 10.0, EnergiesHash: "h3", Unix: 100}, DefaultTolerance())
+	if rep.Flagged {
+		t.Fatalf("flagged despite no baseline consensus: %+v", rep)
+	}
+}
+
+func TestWatchWarmingBaselinePasses(t *testing.T) {
+	hist := baseline(2, 10.0, "h1")
+	rep := Watch(hist, RunSummary{Run: "new", Spec: "s", Wall: 99.0, Unix: 100}, DefaultTolerance())
+	if rep.Flagged {
+		t.Fatal("run flagged while baseline still warming (< MinRuns)")
+	}
+	if len(rep.Reasons) == 0 || !strings.Contains(rep.Reasons[0], "warming") {
+		t.Fatalf("warming reason missing: %+v", rep)
+	}
+}
+
+func TestWatchWindowUsesRecentRuns(t *testing.T) {
+	// 20 old slow runs followed by 16 recent fast ones; with Window=16
+	// only the fast ones form the baseline, so a fast run passes and a
+	// formerly-normal slow run is flagged.
+	hist := append(baseline(20, 30.0, ""), baseline(16, 10.0, "")...)
+	for i := range hist {
+		hist[i].Run = fmt.Sprintf("r-%02d", i)
+		hist[i].Unix = int64(i + 1)
+	}
+	tol := DefaultTolerance()
+	rep := Watch(hist, RunSummary{Run: "fast", Spec: "s", Wall: 10.5, Unix: 100}, tol)
+	if rep.Flagged {
+		t.Fatalf("fast run flagged against windowed baseline: %+v", rep)
+	}
+	if rep.BaselineWall != 10.0 {
+		t.Fatalf("window leaked old runs into baseline: median %v", rep.BaselineWall)
+	}
+	rep = Watch(hist, RunSummary{Run: "regressed", Spec: "s", Wall: 29.0, Unix: 101}, tol)
+	if !rep.Flagged {
+		t.Fatal("regression back to the old wall not flagged under the recent window")
+	}
+}
+
+func TestWatchExcludesSelfFromBaseline(t *testing.T) {
+	// The caller archives the new run before judging it; Watch must drop
+	// it from its own baseline or a huge regression dilutes the median.
+	hist := baseline(4, 10.0, "")
+	self := RunSummary{Run: "self", Spec: "s", Wall: 50.0, Unix: 99}
+	hist = append(hist, self)
+	rep := Watch(hist, self, DefaultTolerance())
+	if rep.BaselineRuns != 4 {
+		t.Fatalf("self not excluded: baseline of %d", rep.BaselineRuns)
+	}
+	if !rep.Flagged {
+		t.Fatal("5x slowdown not flagged after self-exclusion")
+	}
+}

@@ -24,4 +24,16 @@ var (
 	mPredicts       = telemetry.Default.Counter("opal_ctl_predicts_total", "Model predictions served.")
 	mPredictSeconds = telemetry.Default.Histogram("opal_ctl_predict_seconds", "Host latency of the /predict read path.", telemetry.LatencyBuckets)
 	mJobSeconds     = telemetry.Default.Histogram("opal_ctl_job_seconds", "Host wall time of one job execution attempt.", telemetry.LatencyBuckets)
+
+	// Per-tenant SLO instruments: who was admitted, shed, completed and
+	// retried, how long each tenant's jobs waited in the queue and ran.
+	// The tenant label comes from the submission, not the canonical spec,
+	// so coalesced executions still attribute to every submitting tenant's
+	// admission counters while the single execution bills its runner.
+	mTenantAdmitted   = telemetry.Default.CounterVec("opal_ctl_tenant_admitted_total", "Run submissions admitted to the queue, by tenant.", "tenant")
+	mTenantShed       = telemetry.Default.CounterVec("opal_ctl_tenant_shed_total", "Run submissions shed at admission, by tenant.", "tenant")
+	mTenantDone       = telemetry.Default.CounterVec("opal_ctl_tenant_completed_total", "Jobs completed with a result, by submitting tenant (restored from the archive across restarts).", "tenant")
+	mTenantRetries    = telemetry.Default.CounterVec("opal_ctl_tenant_retries_total", "Job execution retries after a transient failure, by tenant.", "tenant")
+	mQueueWait        = telemetry.Default.HistogramVec("opal_ctl_queue_wait_seconds", "Host wall time a job spent queued before a worker picked it up, by tenant.", "tenant", telemetry.LatencyBuckets)
+	mTenantJobSeconds = telemetry.Default.HistogramVec("opal_ctl_tenant_job_seconds", "Host wall time of one job execution attempt, by tenant.", "tenant", telemetry.LatencyBuckets)
 )

@@ -34,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"opalperf/internal/archive"
 	"opalperf/internal/telemetry"
 )
 
@@ -59,6 +60,15 @@ type Config struct {
 	JobDeadline time.Duration // per-job wall deadline (default 2m; <=0 disables)
 
 	Limits Limits // per-submission bounds
+
+	// Archive, when non-nil, is the persistent run warehouse: the dedup
+	// result store is primed from its result records at startup (restarts
+	// serve cached terminal results without re-execution), every completed
+	// job appends a new result record, every run's journal events and
+	// summary are ingested, and per-tenant completion counters carry on
+	// across reboots.  The server does not close it — the owner (opald)
+	// does, after Drain.
+	Archive *archive.Archive
 
 	now func() time.Time // test clock for quotas and breaker
 }
@@ -136,6 +146,11 @@ func New(cfg Config) *Server {
 	}
 	s.store.onRelease = s.runQ.release
 	s.pool = newPool(cfg, s.q, s.store, s.brk, systems)
+	if cfg.Archive != nil {
+		if n := s.store.restoreFromArchive(cfg.Archive); n > 0 {
+			telemetry.Emit("ctl_store_restored", telemetry.F{"results": n})
+		}
+	}
 	return s
 }
 
@@ -189,13 +204,16 @@ func (s *Server) Submit(tenant string, spec JobSpec) (jobID string, coalesced bo
 	hash := c.Hash()
 	if err := s.brk.allow(hash); err != nil {
 		mShed.With("quarantined").Add(1)
+		mTenantShed.With(tenant).Add(1)
 		return "", false, err
 	}
 	if err := s.runQ.admit(tenant); err != nil {
 		mShed.With(err.(*shedError).Reason).Add(1)
+		mTenantShed.With(tenant).Add(1)
 		return "", false, err
 	}
 	jobID, _, coalesced, err = s.store.submit(c, hash, tenant, func(j *job) bool {
+		j.EnqueuedAt = time.Now()
 		if ok := s.q.tryPush(j); ok {
 			mQueueDepth.Set(int64(s.q.depth()))
 			return true
@@ -205,6 +223,7 @@ func (s *Server) Submit(tenant string, spec JobSpec) (jobID string, coalesced bo
 	if err != nil {
 		s.runQ.release(tenant)
 		mShed.With("queue_full").Add(1)
+		mTenantShed.With(tenant).Add(1)
 		return "", false, err
 	}
 	if coalesced {
@@ -222,6 +241,7 @@ func (s *Server) Submit(tenant string, spec JobSpec) (jobID string, coalesced bo
 		mCoalesced.Add(1)
 	} else {
 		mAccepted.Add(1)
+		mTenantAdmitted.With(tenant).Add(1)
 	}
 	telemetry.Emit("ctl_job_accepted", telemetry.F{
 		"job": jobID, "tenant": tenant, "coalesced": coalesced,

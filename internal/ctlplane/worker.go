@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"opalperf/internal/archive"
 	"opalperf/internal/harness"
 	"opalperf/internal/md"
 	"opalperf/internal/telemetry"
@@ -22,6 +23,13 @@ type job struct {
 	Tenant string
 	Spec   JobSpec // canonical
 	entry  *entry
+	// EnqueuedAt is stamped at admission; the pop side observes the
+	// difference as the tenant's queue-wait.  A crash requeue keeps the
+	// original stamp — the tenant's wait did not restart.
+	EnqueuedAt time.Time
+	// waitSecs is the observed queue wait, recorded at pop for the
+	// archived result record.
+	waitSecs float64
 }
 
 // errDrainStop is the cancellation cause of a drained job whose state has
@@ -52,6 +60,10 @@ type pool struct {
 	mu      sync.Mutex
 	current map[int]*job // worker id -> in-flight job (crash recovery)
 
+	// arch, when non-nil, receives result records for completed jobs and
+	// run summaries from the harness sink (Config.Archive).
+	arch *archive.Archive
+
 	// runner executes one attempt; tests swap it to inject failures.
 	runner func(p *pool, j *job, attempt int) (*JobResult, error)
 	// killAt, when non-nil, is the service-chaos hook: a non-negative
@@ -67,6 +79,7 @@ type pool struct {
 func newPool(cfg Config, q *queue, st *store, brk *breaker, systems *systemCache) *pool {
 	return &pool{
 		cfg: cfg, q: q, store: st, brk: brk, systems: systems,
+		arch:    cfg.Archive,
 		current: map[int]*job{},
 		runner:  runAttempt,
 		sleep:   time.Sleep,
@@ -122,6 +135,10 @@ func (p *pool) loop(id int) {
 			return
 		}
 		mQueueDepth.Set(int64(p.q.depth()))
+		if !j.EnqueuedAt.IsZero() {
+			j.waitSecs = time.Since(j.EnqueuedAt).Seconds()
+			mQueueWait.With(j.Tenant).Observe(j.waitSecs)
+		}
 		p.mu.Lock()
 		p.current[id] = j
 		p.mu.Unlock()
@@ -143,13 +160,17 @@ func (p *pool) runJob(j *job) {
 		})
 		t0 := time.Now()
 		res, err := p.execute(j, attempt)
-		mJobSeconds.Observe(time.Since(t0).Seconds())
+		runSecs := time.Since(t0).Seconds()
+		mJobSeconds.Observe(runSecs)
+		mTenantJobSeconds.With(j.Tenant).Observe(runSecs)
 		mJobsRunning.Add(-1)
 		switch {
 		case err == nil:
 			p.brk.success(j.Hash)
 			p.store.markDone(e, res)
 			mDone.Add(1)
+			mTenantDone.With(j.Tenant).Add(1)
+			p.archiveResult(j, e, j.waitSecs, runSecs)
 			telemetry.Emit("ctl_job_done", telemetry.F{
 				"job": j.ID, "hash": j.Hash, "attempt": attempt, "steps": res.Steps,
 			})
@@ -180,6 +201,7 @@ func (p *pool) runJob(j *job) {
 				return
 			}
 			mRetries.Add(1)
+			mTenantRetries.With(j.Tenant).Add(1)
 			telemetry.Emit("ctl_job_retry", telemetry.F{
 				"job": j.ID, "hash": j.Hash, "attempt": attempt, "error": err.Error(),
 			})
@@ -250,6 +272,15 @@ func runAttempt(p *pool, j *job, attempt int) (*JobResult, error) {
 	}
 	if p.cfg.JobDeadline > 0 {
 		spec.Deadline = time.Now().Add(p.cfg.JobDeadline)
+	}
+	if p.arch != nil {
+		// Label summaries with the canonical job hash — the authoritative
+		// grouping key — so the watchdog and cross-run percentiles compare
+		// the service's runs under the same identity the dedup store uses.
+		spec.Archive = &archive.Sink{
+			Archive: p.arch, Run: j.ID, Spec: j.Hash, Tenant: j.Tenant,
+			Label: j.Spec.Platform + "/" + j.Spec.Size,
+		}
 	}
 	out, err := harness.Run(spec)
 	if err != nil {

@@ -1,0 +1,156 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"opalperf/internal/archive"
+	"opalperf/internal/harness"
+	"opalperf/internal/md"
+	"opalperf/internal/molecule"
+	"opalperf/internal/platform"
+	"opalperf/internal/telemetry"
+)
+
+func archiveSpec(sys *molecule.System) harness.RunSpec {
+	return harness.RunSpec{
+		Platform: platform.J90(),
+		Sys:      sys,
+		Opts:     md.Options{Cutoff: 10, Accounting: true, Minimize: true},
+		Servers:  3,
+		Steps:    5,
+	}
+}
+
+// A run with an archive sink lands exactly one summary carrying the
+// run's identity, makespan, breakdown and the bit-exact energies hash;
+// an identical rerun produces the identical hash under the same spec
+// hash — the grouping key the watchdog and percentiles rely on.
+func TestRunArchivesSummary(t *testing.T) {
+	sys := molecule.Generate(molecule.Config{
+		Name: "arch", SoluteAtoms: 60, Waters: 120, Seed: 7, Interleave: true,
+	})
+	a, err := archive.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	telemetry.SetRun("test-run-1")
+	defer telemetry.SetRun("")
+	spec := archiveSpec(sys)
+	spec.Archive = &archive.Sink{Archive: a, Tenant: "t-acme", Label: "unit"}
+	out1, err := harness.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	telemetry.SetRun("test-run-2")
+	if _, err := harness.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	sums := a.Summaries(archive.Query{Tenant: "t-acme"})
+	if len(sums) != 2 {
+		t.Fatalf("archived %d summaries, want 2", len(sums))
+	}
+	s := sums[0]
+	if s.Run != "test-run-1" || s.Label != "unit" {
+		t.Fatalf("summary identity wrong: %+v", s)
+	}
+	if s.Spec == "" || s.Spec != sums[1].Spec {
+		t.Fatalf("spec hash unstable across identical runs: %q vs %q", s.Spec, sums[1].Spec)
+	}
+	if s.Spec != harness.SpecHashOf(spec) {
+		t.Fatalf("archived spec %q != SpecHashOf %q", s.Spec, harness.SpecHashOf(spec))
+	}
+	if s.Wall != out1.Wall || s.Steps != 5 || s.Servers != 3 {
+		t.Fatalf("summary measurements wrong: %+v (wall %v)", s, out1.Wall)
+	}
+	if s.Platform != platform.J90().Name || s.System != "arch" {
+		t.Fatalf("summary platform/system wrong: %+v", s)
+	}
+	if s.EnergiesHash == "" || s.EnergiesHash != sums[1].EnergiesHash {
+		t.Fatalf("energies hash not deterministic: %q vs %q", s.EnergiesHash, sums[1].EnergiesHash)
+	}
+	if sum := s.Par + s.Seq + s.Comm + s.Sync + s.Idle; sum <= 0 {
+		t.Fatalf("breakdown terms empty: %+v", s)
+	}
+	if s.Chaos {
+		t.Fatal("fault-free run marked chaos")
+	}
+}
+
+// A differing configuration must hash to a different spec — otherwise the
+// watchdog would baseline unrelated runs against each other.
+func TestSpecHashSeparatesConfigurations(t *testing.T) {
+	sys := molecule.Generate(molecule.Config{
+		Name: "arch", SoluteAtoms: 60, Waters: 120, Seed: 7, Interleave: true,
+	})
+	base := archiveSpec(sys)
+	h := harness.SpecHashOf(base)
+	for name, mut := range map[string]func(*harness.RunSpec){
+		"servers": func(s *harness.RunSpec) { s.Servers = 5 },
+		"steps":   func(s *harness.RunSpec) { s.Steps = 9 },
+		"cutoff":  func(s *harness.RunSpec) { s.Opts.Cutoff = 60 },
+		"update":  func(s *harness.RunSpec) { s.Opts.UpdateEvery = 10 },
+		"seed":    func(s *harness.RunSpec) { s.Opts.Seed = 99 },
+	} {
+		mod := base
+		mut(&mod)
+		if harness.SpecHashOf(mod) == h {
+			t.Fatalf("%s change did not change the spec hash", name)
+		}
+	}
+}
+
+// The journal mirror lands the run's lifecycle events in the archive
+// under the run ID, alongside the summary — the full ingestion path the
+// -archive CLI flags arm.
+func TestJournalMirrorsIntoArchive(t *testing.T) {
+	sys := molecule.Generate(molecule.Config{
+		Name: "arch", SoluteAtoms: 60, Waters: 120, Seed: 7, Interleave: true,
+	})
+	a, err := archive.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	j := telemetry.StartJournal(nil, 32)
+	defer telemetry.StopJournal()
+	j.SetClock(func() time.Time { return time.Unix(1700000000, 0).UTC() })
+	j.SetMirror(a.MirrorEvent)
+	telemetry.SetRun("mirrored-run")
+	defer telemetry.SetRun("")
+
+	spec := archiveSpec(sys)
+	spec.Archive = &archive.Sink{Archive: a}
+	if _, err := harness.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	evs := a.Select(archive.Query{Kind: archive.KindEvent, Run: "mirrored-run"})
+	if len(evs) < 2 {
+		t.Fatalf("mirrored %d events, want at least run_start+run_end", len(evs))
+	}
+	var sawStart, sawEnd bool
+	for _, e := range evs {
+		line := string(e.Data)
+		if strings.Contains(line, `"type":"run_start"`) {
+			sawStart = true
+		}
+		if strings.Contains(line, `"type":"run_end"`) {
+			sawEnd = true
+		}
+		if strings.HasSuffix(line, "\n") {
+			t.Fatalf("mirrored event kept its newline: %q", line)
+		}
+	}
+	if !sawStart || !sawEnd {
+		t.Fatalf("lifecycle events missing: start=%v end=%v", sawStart, sawEnd)
+	}
+	if sums := a.Summaries(archive.Query{Run: "mirrored-run"}); len(sums) != 1 {
+		t.Fatalf("summaries = %d, want 1", len(sums))
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"opalperf/internal/archive"
 	"opalperf/internal/core"
 	"opalperf/internal/fault"
 	"opalperf/internal/md"
@@ -51,6 +52,13 @@ type RunSpec struct {
 	// is cooperative — the virtual-time kernel is only interruptible
 	// between steps — so the deadline is enforced with one step of slack.
 	Deadline time.Time
+	// Archive, when non-nil, receives a one-record RunSummary digest of
+	// every successful run — makespan, breakdown terms, the energies hash,
+	// recovery and LoD counts, and the oracle's residual means when one is
+	// armed.  The sink's spec hash labels the summary (SpecHashOf derives
+	// one when the sink leaves it empty), so cross-run queries can group
+	// runs of the identical configuration.
+	Archive *archive.Sink
 }
 
 // ErrDeadline is the cancellation cause of a run stopped by
@@ -153,7 +161,71 @@ func Run(spec RunSpec) (RunOutcome, error) {
 	// initialization and the shutdown handshake.
 	out.Breakdown = trace.ComputeBreakdownBetween(rec, 0, res.ServerTIDs,
 		res.StartSeconds, res.EndSeconds, out.Wall)
+	if spec.Archive != nil {
+		// Summary loss must not fail a completed run: the physics are
+		// done, the warehouse can be refilled by the next run.
+		_ = spec.Archive.Put(SummaryOf(spec, out))
+	}
 	return out, nil
+}
+
+// SummaryOf distills a run outcome into its archive digest.
+func SummaryOf(spec RunSpec, out RunOutcome) archive.RunSummary {
+	res := out.Result
+	energies := make([]float64, len(res.Steps))
+	for i, st := range res.Steps {
+		energies[i] = st.ETotal
+	}
+	b := out.Breakdown
+	sum := archive.RunSummary{
+		Run:          telemetry.Run(),
+		Spec:         SpecHashOf(spec),
+		Platform:     spec.Platform.Name,
+		System:       spec.Sys.Name,
+		Servers:      spec.Servers,
+		Steps:        len(res.Steps),
+		Wall:         out.Wall,
+		EnergiesHash: archive.HashFloats(energies),
+		FinalEnergy:  res.FinalEnergy(),
+		Par:          b.ParComp,
+		Seq:          b.SeqComp,
+		Comm:         b.Comm,
+		Sync:         b.Sync,
+		Idle:         b.Idle,
+		Respawns:     res.Respawns,
+		Recoveries:   res.Recoveries,
+		Faults:       out.FaultStats.Total(),
+		Chaos:        spec.Faults != nil || spec.Opts.Kills != nil,
+
+		LoDMacroPhases:    res.LoDMacroPhases,
+		LoDFallbackPhases: res.LoDFallbackPhases,
+	}
+	if o := spec.Oracle; o != nil {
+		sum.OracleWindows = o.Windows()
+		sum.OracleAnomalies = o.Anomalies()
+		sum.Residuals = o.ResidualMeans()
+	}
+	return sum
+}
+
+// SpecHashOf derives the canonical spec hash of a run configuration — the
+// grouping key cross-run queries and the regression watchdog compare
+// under.  It covers everything that changes the physics or the timing
+// (platform, system, fleet, steps, cut-off, update period, distribution
+// strategy and seed, engine mode) and nothing environmental.
+func SpecHashOf(spec RunSpec) string {
+	return archive.HashStrings(
+		spec.Platform.Name,
+		spec.Sys.Name,
+		fmt.Sprint(spec.Servers),
+		fmt.Sprint(spec.Steps),
+		fmt.Sprint(spec.Opts.Cutoff),
+		fmt.Sprint(orOne(spec.Opts.UpdateEvery)),
+		fmt.Sprint(spec.Opts.Strategy),
+		fmt.Sprint(spec.Opts.Seed),
+		fmt.Sprint(spec.Opts.Minimize),
+		fmt.Sprint(spec.Opts.SelfHeal),
+	)
 }
 
 // MeasurementOf converts a run outcome into a calibration measurement,

@@ -398,6 +398,22 @@ func (o *Oracle) Anomalies() int {
 	return o.anomalies
 }
 
+// ResidualMeans returns each model term's EWMA residual mean (measured
+// minus predicted virtual seconds), keyed by term name.  Terms that never
+// observed a window are omitted.  The run archive stores this as the
+// per-run drift sample the cross-run residual table aggregates.
+func (o *Oracle) ResidualMeans() map[string]float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	out := make(map[string]float64, len(o.terms))
+	for i, name := range core.TermNames() {
+		if o.terms[i].n > 0 {
+			out[name] = o.terms[i].mean
+		}
+	}
+	return out
+}
+
 // AnomalyTerms returns the per-term anomaly counts — which model terms
 // (par, seq, comm, sync) the flagged deviations were attributed to.  The
 // scenario engine asserts on this attribution.

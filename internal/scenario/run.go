@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"opalperf/internal/archive"
 	"opalperf/internal/core"
 	"opalperf/internal/harness"
 	"opalperf/internal/md"
@@ -35,6 +36,11 @@ type Report struct {
 	Wall    float64
 	RefWall float64 // 0 when no reference assertion was requested
 	Steps   int
+
+	// EnergiesHash digests the stitched per-step total-energy trajectory
+	// (the determinism witness); FinalEnergy is the last step's total.
+	EnergiesHash string
+	FinalEnergy  float64
 
 	Respawns    int
 	Recoveries  int
@@ -198,6 +204,12 @@ func RunScenario(spec *Spec, sweep int, ref *harness.RunOutcome) Report {
 	}
 
 	rep.Steps = len(result.Steps)
+	energies := make([]float64, len(result.Steps))
+	for i, st := range result.Steps {
+		energies[i] = st.ETotal
+	}
+	rep.EnergiesHash = archive.HashFloats(energies)
+	rep.FinalEnergy = result.FinalEnergy()
 	rep.Respawns = result.Respawns
 	rep.Recoveries = result.Recoveries
 	rep.Checkpoints = checkpoints

@@ -50,6 +50,12 @@ var (
 
 	// Journal plane.
 	JournalDropped = Default.Counter("opal_journal_dropped_total", "Journal events dropped from the JSONL stream by the byte cap.")
+	// Gauges mirror the journal's drop and dump state onto /metrics even
+	// while the counter plane is gated off (Gauge.Set is ungated), so
+	// byte-cap truncation and post-mortem dumps are visible to a scrape,
+	// not just in code.
+	JournalDroppedEvents = Default.Gauge("opal_journal_dropped_events", "Journal events dropped from the JSONL stream so far (byte cap).")
+	FlightDumps          = Default.Gauge("opal_flight_dumps", "Flight-recorder dumps written so far (triggered and crash-path).")
 
 	// Model oracle (internal/oracle): live predicted-vs-measured loop.
 	OracleWindows   = Default.Counter("opal_oracle_windows_total", "Oracle windows evaluated (predicted vs measured).")

@@ -44,6 +44,11 @@ type Journal struct {
 	// scenario replays pin it so that two identical runs render
 	// byte-identical journal lines.
 	clock func() time.Time
+	// mirror, when set, receives every rendered event line — the archive
+	// ingestion hook.  A plain function keeps telemetry free of an archive
+	// import; the byte cap does not apply to the mirror (the warehouse has
+	// its own retention via compaction).
+	mirror func(run, typ string, wall time.Time, line string)
 }
 
 // current is the installed journal; Emit no-ops while it is nil.
@@ -107,6 +112,17 @@ func (j *Journal) SetClock(fn func() time.Time) {
 	j.mu.Unlock()
 }
 
+// SetMirror installs a tap receiving every rendered event line (run ID,
+// event type, wall stamp, JSONL line including trailing newline) — the
+// hook the run archive ingests the journal stream through.  nil removes
+// the tap.  The mirror is called under the journal mutex; it must not
+// emit events itself.
+func (j *Journal) SetMirror(fn func(run, typ string, wall time.Time, line string)) {
+	j.mu.Lock()
+	j.mirror = fn
+	j.mu.Unlock()
+}
+
 // SetMaxBytes caps the journal's JSONL stream at n bytes; events past the
 // cap are dropped (and counted) rather than written.  n <= 0 removes the
 // cap.  The flight recorder is unaffected — it is bounded by event count
@@ -153,13 +169,18 @@ func (j *Journal) Emit(typ string, fields F) {
 	if j.clock != nil {
 		now = j.clock
 	}
-	j.buf = appendEvent(j.buf[:0], now(), Run(), typ, fields)
+	wall := now()
+	j.buf = appendEvent(j.buf[:0], wall, Run(), typ, fields)
 	line := string(j.buf)
 	j.flight.add(line)
+	if j.mirror != nil {
+		j.mirror(Run(), typ, wall, line)
+	}
 	if j.w != nil {
 		if j.maxBytes > 0 && j.written+int64(len(line)) > j.maxBytes {
 			j.dropped++
 			JournalDropped.Add(1)
+			JournalDroppedEvents.Set(int64(j.dropped))
 		} else {
 			io.WriteString(j.w, line)
 			j.written += int64(len(line))
@@ -169,6 +190,7 @@ func (j *Journal) Emit(typ string, fields F) {
 		fmt.Fprintf(j.dumpW, "--- flight recorder dump (trigger: %s) ---\n", typ)
 		j.flight.DumpTo(j.dumpW)
 		fmt.Fprintf(j.dumpW, "--- end flight recorder dump ---\n")
+		FlightDumps.Add(1)
 	}
 }
 
@@ -279,4 +301,5 @@ func DumpFlight(w io.Writer) {
 	fmt.Fprintf(w, "--- flight recorder dump (%d events) ---\n", j.flight.Len())
 	j.flight.DumpTo(w)
 	fmt.Fprintf(w, "--- end flight recorder dump ---\n")
+	FlightDumps.Add(1)
 }

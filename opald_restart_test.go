@@ -1,0 +1,242 @@
+package opalperf
+
+// opald restart acceptance: boot the daemon with a persistent archive,
+// run a job to completion, SIGTERM, reboot on the same archive directory,
+// and submit the identical spec again.  The second life must serve the
+// duplicate from the persisted result store — coalesced, bit-identical
+// energies, completions still 1 — without re-executing anything.
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+type opaldProc struct {
+	cmd  *exec.Cmd
+	base string
+	tail chan string
+}
+
+// startOpald boots one opald and waits for its readiness line.
+func startOpald(t *testing.T, bin string, args ...string) *opaldProc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill() })
+
+	sc := bufio.NewScanner(stdout)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "on http://"); i >= 0 {
+			base = "http://" + strings.TrimSpace(line[i+len("on http://"):])
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("opald never announced its address: %v", sc.Err())
+	}
+	tail := make(chan string, 1)
+	go func() {
+		var lines []string
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		tail <- strings.Join(lines, "\n")
+	}()
+	return &opaldProc{cmd: cmd, base: base, tail: tail}
+}
+
+// stopOpald SIGTERMs the daemon and requires a clean drain.  Stdout is
+// read to EOF before reaping: Wait closes the pipe, and a concurrent
+// Wait can race the tail reader out of the final drain lines.
+func stopOpald(t *testing.T, p *opaldProc) {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var out string
+	select {
+	case out = <-p.tail:
+	case <-time.After(30 * time.Second):
+		t.Fatal("opald did not close stdout within 30s of SIGTERM")
+	}
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("opald exited non-zero after SIGTERM: %v\n%s", err, out)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("opald did not exit within 30s of SIGTERM")
+	}
+}
+
+type runDoc struct {
+	JobID       string `json:"job_id"`
+	Coalesced   bool   `json:"coalesced"`
+	State       string `json:"state"`
+	Completions int    `json:"completions"`
+	Result      *struct {
+		Energies []float64 `json:"energies"`
+	} `json:"result"`
+}
+
+func submitRun(t *testing.T, client *http.Client, base, tenant, spec string) runDoc {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/runs", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Tenant", tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc runDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted || doc.JobID == "" {
+		t.Fatalf("submit: status %d doc %+v", resp.StatusCode, doc)
+	}
+	return doc
+}
+
+func pollDone(t *testing.T, client *http.Client, base, jobID string) runDoc {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := client.Get(base + "/v1/runs/" + jobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var doc runDoc
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if doc.State == "done" {
+			return doc
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %q", jobID, doc.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestOpaldRestartServesArchivedResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := buildCommands(t)
+	archiveDir := filepath.Join(t.TempDir(), "warehouse")
+	bin := filepath.Join(dir, "opald")
+	const spec = `{"size":"small","scale":0.02,"servers":2,"steps":6,"update_every":2}`
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	// First life: run the spec to completion, then drain.
+	p1 := startOpald(t, bin, "-addr", "localhost:0", "-workers", "2", "-archive", archiveDir)
+	acc := submitRun(t, client, p1.base, "alice", spec)
+	if acc.Coalesced {
+		t.Fatalf("first submission unexpectedly coalesced: %+v", acc)
+	}
+	first := pollDone(t, client, p1.base, acc.JobID)
+	if first.Result == nil || len(first.Result.Energies) != 6 {
+		t.Fatalf("first life done without full result: %+v", first)
+	}
+	if first.Completions != 1 {
+		t.Fatalf("first life completions = %d", first.Completions)
+	}
+	stopOpald(t, p1)
+
+	// The warehouse must hold segments now.
+	segs, err := filepath.Glob(filepath.Join(archiveDir, "seg-*"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no archive segments in %s (err %v)", archiveDir, err)
+	}
+
+	// Second life: same archive directory, duplicate submission from a
+	// different tenant.  Served from the persisted store: coalesced
+	// immediately, state done, energies bit-identical, completions 1.
+	p2 := startOpald(t, bin, "-addr", "localhost:0", "-workers", "2", "-archive", archiveDir)
+	dup := submitRun(t, client, p2.base, "bob", spec)
+	if !dup.Coalesced {
+		t.Fatalf("duplicate after restart did not coalesce: %+v", dup)
+	}
+	if dup.State != "done" {
+		t.Fatalf("duplicate state %q at submission — should be served terminal, not re-executed", dup.State)
+	}
+	served := pollDone(t, client, p2.base, dup.JobID)
+	if served.Completions != 1 {
+		t.Fatalf("completions = %d across restart, want 1 (re-execution?)", served.Completions)
+	}
+	if served.Result == nil || len(served.Result.Energies) != len(first.Result.Energies) {
+		t.Fatalf("restored result shape: %+v", served)
+	}
+	for i := range first.Result.Energies {
+		if served.Result.Energies[i] != first.Result.Energies[i] {
+			t.Fatalf("energy[%d] differs across restart: %v != %v",
+				i, served.Result.Energies[i], first.Result.Energies[i])
+		}
+	}
+
+	// No execution happened in the second life: its metrics show zero
+	// jobs done this process, one coalesced submission.
+	resp, err := client.Get(p2.base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := readBody(t, resp)
+	for _, want := range []string{
+		"opal_ctl_jobs_done_total 0",
+		"opal_ctl_jobs_coalesced_total 1",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("second-life /metrics missing %q", want)
+		}
+	}
+	stopOpald(t, p2)
+
+	// Third check, offline: opalquery over the same warehouse sees the
+	// first life's run summary.
+	out, err := exec.Command(filepath.Join(dir, "opalquery"), "-archive", archiveDir, "list").CombinedOutput()
+	if err != nil {
+		t.Fatalf("opalquery list: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "job-000001") {
+		t.Errorf("opalquery list does not show the archived run:\n%s", out)
+	}
+}
+
+func readBody(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}

@@ -121,20 +121,28 @@ func TestOpaldSmoke(t *testing.T) {
 	}
 
 	// Graceful drain: SIGTERM must exit 0 with the journal flushed.
+	// Read stdout to EOF before reaping: Wait closes the pipe, and a
+	// concurrent Wait can race the tail reader out of the final lines.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
+	}
+	var out string
+	select {
+	case out = <-tail:
+	case <-time.After(30 * time.Second):
+		t.Fatal("opald did not close stdout within 30s of SIGTERM")
 	}
 	done := make(chan error, 1)
 	go func() { done <- cmd.Wait() }()
 	select {
 	case err := <-done:
 		if err != nil {
-			t.Fatalf("opald exited non-zero after SIGTERM: %v\n%s", err, <-tail)
+			t.Fatalf("opald exited non-zero after SIGTERM: %v\n%s", err, out)
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("opald did not exit within 30s of SIGTERM")
 	}
-	if out := <-tail; !strings.Contains(out, "drained, exiting") {
+	if !strings.Contains(out, "drained, exiting") {
 		t.Fatalf("missing drain confirmation in output:\n%s", out)
 	}
 
@@ -176,4 +184,3 @@ func keysOf(m map[string]bool) []string {
 	}
 	return out
 }
-
