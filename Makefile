@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-json check chaos scenarios cover fuzz figures clean telemetry-budget perf-gate opald-smoke service-chaos archive-check
+.PHONY: all build test race bench bench-json check chaos scenarios cover fuzz figures clean telemetry-budget supervision-budget perf-gate opald-smoke service-chaos archive-check opaltop-check
 
 # Seeds per scenario when sweeping the checked-in chaos corpus.
 SCENARIO_SEEDS ?= 10
@@ -8,6 +8,11 @@ SCENARIO_SEEDS ?= 10
 # Maximum steady-state CPU overhead (percent) of the telemetry plane,
 # enabled vs disabled, enforced by the telemetry-budget target.
 TELEMETRY_BUDGET ?= 2.0
+
+# Maximum steady-state CPU overhead (percent) of the recovery plane
+# (self-heal supervision + periodic checkpointing) on a fault-free run,
+# enforced by the supervision-budget target (DESIGN.md §11).
+SUPERVISION_BUDGET ?= 2.0
 
 all: build test
 
@@ -65,6 +70,9 @@ check:
 	$(MAKE) service-chaos
 	$(MAKE) opald-smoke
 	$(MAKE) archive-check
+	$(MAKE) opaltop-check
+	$(MAKE) telemetry-budget
+	$(MAKE) supervision-budget
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -74,7 +82,7 @@ bench-json:
 	$(GO) run ./cmd/benchjson -pkg . -bench .
 
 # Fail when the telemetry plane's enabled-vs-disabled CPU overhead exceeds
-# the budget (min-of-pairs rusage comparison; see BenchmarkTelemetryOverhead).
+# the budget (paired-median rusage comparison; see BenchmarkTelemetryOverhead).
 telemetry-budget:
 	@out=$$($(GO) test -bench BenchmarkTelemetryOverhead -benchtime 1x -run xxx . | tee /dev/stderr); \
 	echo "$$out" | awk -v budget=$(TELEMETRY_BUDGET) ' \
@@ -84,6 +92,25 @@ telemetry-budget:
 			if (ov + 0 > budget + 0) { printf "telemetry-budget: overhead %s%% exceeds budget %s%%\n", ov, budget; exit 1 } \
 			printf "telemetry-budget: overhead %s%% within budget %s%%\n", ov, budget \
 		}'
+
+# Fail when the recovery plane's armed-vs-bare CPU overhead exceeds the
+# budget (same paired-median estimator; see BenchmarkSupervisionOverhead).
+supervision-budget:
+	@out=$$($(GO) test -bench BenchmarkSupervisionOverhead -benchtime 1x -run xxx . | tee /dev/stderr); \
+	echo "$$out" | awk -v budget=$(SUPERVISION_BUDGET) ' \
+		/BenchmarkSupervisionOverhead/ { for (i = 1; i < NF; i++) if ($$(i+1) == "overhead%") ov = $$i } \
+		END { \
+			if (ov == "") { print "supervision-budget: no overhead% metric found"; exit 1 } \
+			if (ov + 0 > budget + 0) { printf "supervision-budget: overhead %s%% exceeds budget %s%%\n", ov, budget; exit 1 } \
+			printf "supervision-budget: overhead %s%% within budget %s%%\n", ov, budget \
+		}'
+
+# The console's deterministic-frame contract: the opaltop goldens (live
+# /streamz snapshot, archive replay, journal replay) plus the matrix
+# reconciliation and LoD bit-identity integration tests.
+opaltop-check:
+	$(GO) test -race -count=1 ./cmd/opaltop/
+	$(GO) test -count=1 -run 'TestCommMatrix' .
 
 # The perf gate: rerun the hot-path benchmarks and diff against the
 # checked-in baseline snapshot with cmd/perfdiff.  Shared CI hosts are

@@ -4,9 +4,7 @@ package opalperf
 
 import (
 	"io"
-	"syscall"
 	"testing"
-	"time"
 
 	"opalperf/internal/harness"
 	"opalperf/internal/md"
@@ -19,13 +17,10 @@ import (
 // same run bare.  The armed run's extra work is the boundary-coordinate
 // mirror, the supervisor bookkeeping and one snapshot serialization per
 // checkpoint interval; the reported overhead% must stay under the
-// recovery plane's <2% budget over the PR 1 baseline.
-//
-// The comparison is in process CPU time, not wall time: a percent-level
-// signal on a shared host is unrecoverable from wall clocks (co-tenant
-// load adds tens of milliseconds of one-sided, bursty noise per run),
-// but preemption never charges CPU time to this process, so the rusage
-// delta isolates the work actually added.  Unix-only for that reason.
+// recovery plane's <2% budget over the PR 1 baseline, enforced by the
+// supervision-budget make target.  Estimation is the paired-median
+// rusage comparison shared with BenchmarkTelemetryOverhead — see
+// pairedOverheadPercent for why.
 func BenchmarkSupervisionOverhead(b *testing.B) {
 	sys := benchSystem("medium")
 	bare := harness.RunSpec{
@@ -40,46 +35,12 @@ func BenchmarkSupervisionOverhead(b *testing.B) {
 	armed.Opts.CheckpointEvery = 20
 	armed.Opts.CheckpointSink = func(cp *md.Checkpoint) error { return cp.Write(io.Discard) }
 
-	cpuNow := func() time.Duration {
-		var ru syscall.Rusage
-		if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
-			b.Fatal(err)
+	run := func(s harness.RunSpec) func() {
+		return func() {
+			if _, err := harness.Run(s); err != nil {
+				b.Fatal(err)
+			}
 		}
-		return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
 	}
-	timed := func(s harness.RunSpec) time.Duration {
-		t0 := cpuNow()
-		if _, err := harness.Run(s); err != nil {
-			b.Fatal(err)
-		}
-		return cpuNow() - t0
-	}
-
-	// Alternate the order each iteration so GC pressure is charged evenly
-	// to both variants, and estimate from the fastest run of each: what
-	// noise remains in CPU time (GC cycles landing inside one variant's
-	// window) is one-sided, so the minimum is the robust floor.  The
-	// floor of fifteen pairs guarantees samples when the framework
-	// settles on a small b.N; pairs beyond b.N run off-timer so ns/op
-	// stays honest.
-	minBare, minArmed := time.Duration(1<<62), time.Duration(1<<62)
-	b.ResetTimer()
-	for i := 0; i < b.N || i < 15; i++ {
-		if i == b.N {
-			b.StopTimer()
-		}
-		var tb, ta time.Duration
-		if i%2 == 0 {
-			tb = timed(bare)
-			ta = timed(armed)
-		} else {
-			ta = timed(armed)
-			tb = timed(bare)
-		}
-		minBare = min(minBare, tb)
-		minArmed = min(minArmed, ta)
-	}
-	if minBare > 0 {
-		b.ReportMetric(100*(minArmed-minBare).Seconds()/minBare.Seconds(), "overhead%")
-	}
+	b.ReportMetric(pairedOverheadPercent(b, run(bare), run(armed)), "overhead%")
 }

@@ -4,9 +4,7 @@ package opalperf
 
 import (
 	"io"
-	"syscall"
 	"testing"
-	"time"
 
 	"opalperf/internal/harness"
 	"opalperf/internal/md"
@@ -16,15 +14,16 @@ import (
 
 // BenchmarkTelemetryOverhead measures the steady-state host cost of the
 // telemetry plane on a fault-free parallel run: metrics registry armed,
-// run journal streaming to a discard writer and flight recorder live,
-// versus the same run with telemetry disabled (every instrument call
-// reduced to one atomic load and a predicted branch).  The reported
-// overhead% guards the <2% budget of the observability plane; the CI
-// telemetry-budget job fails when it is exceeded.
+// run journal streaming to a discard writer, flight recorder live AND
+// the comm-matrix instrument recording every send, versus the same run
+// with telemetry disabled (every instrument call reduced to one atomic
+// load and a predicted branch).  The reported overhead% guards the <2%
+// budget of the observability plane; the CI telemetry-budget job fails
+// when it is exceeded.
 //
-// Like BenchmarkSupervisionOverhead, the comparison is in process CPU
-// time (rusage), alternating order and taking the minimum of pairs, so
-// co-tenant noise and GC bursts cannot fake a regression.
+// Estimation is the paired-median rusage comparison shared with
+// BenchmarkSupervisionOverhead — see pairedOverheadPercent for why CPU
+// time and the median of paired deltas.
 func BenchmarkTelemetryOverhead(b *testing.B) {
 	sys := benchSystem("medium")
 	spec := harness.RunSpec{
@@ -35,49 +34,24 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		Steps:    40,
 	}
 
-	cpuNow := func() time.Duration {
-		var ru syscall.Rusage
-		if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
-			b.Fatal(err)
+	run := func(enabled bool) func() {
+		return func() {
+			if enabled {
+				telemetry.SetEnabled(true)
+				telemetry.StartJournal(io.Discard, 256)
+				telemetry.EnableMatrix(true)
+				telemetry.ResetMatrix()
+			}
+			if _, err := harness.Run(spec); err != nil {
+				b.Fatal(err)
+			}
+			if enabled {
+				telemetry.EnableMatrix(false)
+				telemetry.ResetMatrix()
+				telemetry.SetEnabled(false)
+				telemetry.StopJournal()
+			}
 		}
-		return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
 	}
-	timed := func(enabled bool) time.Duration {
-		if enabled {
-			telemetry.SetEnabled(true)
-			telemetry.StartJournal(io.Discard, 256)
-		} else {
-			telemetry.SetEnabled(false)
-			telemetry.StopJournal()
-		}
-		t0 := cpuNow()
-		if _, err := harness.Run(spec); err != nil {
-			b.Fatal(err)
-		}
-		d := cpuNow() - t0
-		telemetry.SetEnabled(false)
-		telemetry.StopJournal()
-		return d
-	}
-
-	minOff, minOn := time.Duration(1<<62), time.Duration(1<<62)
-	b.ResetTimer()
-	for i := 0; i < b.N || i < 15; i++ {
-		if i == b.N {
-			b.StopTimer()
-		}
-		var toff, ton time.Duration
-		if i%2 == 0 {
-			toff = timed(false)
-			ton = timed(true)
-		} else {
-			ton = timed(true)
-			toff = timed(false)
-		}
-		minOff = min(minOff, toff)
-		minOn = min(minOn, ton)
-	}
-	if minOff > 0 {
-		b.ReportMetric(100*(minOn-minOff).Seconds()/minOff.Seconds(), "overhead%")
-	}
+	b.ReportMetric(pairedOverheadPercent(b, run(false), run(true)), "overhead%")
 }

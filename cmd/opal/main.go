@@ -73,6 +73,8 @@ func main() {
 		archDir    = flag.String("archive", "", "append this run's journal events and summary to the persistent run archive at this directory (query with opalquery)")
 		watchdog   = flag.Bool("watchdog", false, "judge this run against the archived rolling baseline for its spec; exit 3 on a flagged regression (requires -archive)")
 		watchTol   = flag.Float64("watchdog-tol", 1.25, "watchdog wall-time tolerance factor over the baseline median")
+		matrixOn   = flag.Bool("matrix", false, "arm the per-rank/per-link comm matrix and rank profiles (journaled as comm_matrix/rank_profile events, streamed on /streamz, inspect with opaltop or opalquery matrix)")
+		matrixEvy  = flag.Int("matrix-every", 0, "also emit comm_matrix/rank_profile journal records every N steps (0 = end of run only; requires -matrix)")
 	)
 	flag.Parse()
 
@@ -80,6 +82,12 @@ func main() {
 	// simulation, so physics and virtual times are unchanged by enabling it.
 	telemetry.SetEnabled(true)
 	telemetry.SetRun(telemetry.NewRunID())
+	if *matrixOn {
+		telemetry.EnableMatrix(true)
+		telemetry.SetMatrixEmitEvery(*matrixEvy)
+	} else if *matrixEvy != 0 {
+		fatal(fmt.Errorf("-matrix-every requires -matrix"))
+	}
 	var journalOut *os.File
 	if *journal != "" {
 		var err error
@@ -274,6 +282,7 @@ func main() {
 		})
 		spec.Oracle = orc
 		telemetry.Handle("/modelz", orc.Handler())
+		telemetry.RegisterStreamExtra("oracle", orc.StreamExtra)
 	} else if *modelz {
 		fatal(fmt.Errorf("-modelz requires -oracle"))
 	}

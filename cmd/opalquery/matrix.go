@@ -1,0 +1,90 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"opalperf/internal/archive"
+	"opalperf/internal/telemetry"
+)
+
+// matrixEvent is the decoded shape of an archived comm_matrix or
+// rank_profile journal line (envelope fields plus the matrix payload).
+type matrixEvent struct {
+	Type     string                  `json:"type"`
+	Ranks    int                     `json:"ranks"`
+	Links    []telemetry.MatrixLink  `json:"links"`
+	Profiles []telemetry.RankProfile `json:"profiles"`
+}
+
+// lastMatrixEvents scans a run's archived events for the newest
+// comm_matrix and rank_profile records (runs with -matrix-every archive a
+// series; the last one is the end-of-run state).
+func lastMatrixEvents(a *archive.Archive, runID string) (m, p *matrixEvent) {
+	for _, r := range a.Select(archive.Query{Kind: archive.KindEvent, Run: runID}) {
+		var ev matrixEvent
+		if json.Unmarshal(r.Data, &ev) != nil {
+			continue
+		}
+		switch ev.Type {
+		case "comm_matrix":
+			cp := ev
+			m = &cp
+		case "rank_profile":
+			cp := ev
+			p = &cp
+		}
+	}
+	return m, p
+}
+
+func cmdMatrix(a *archive.Archive, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("matrix", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	top := fs.Int("top", 0, "show only the N busiest links by bytes (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "opalquery: matrix needs exactly one run ID")
+		return 2
+	}
+	runID := fs.Arg(0)
+	m, p := lastMatrixEvents(a, runID)
+	if m == nil {
+		fmt.Fprintf(stderr, "opalquery: no comm_matrix events archived for run %q (was the run started with -matrix?)\n", runID)
+		return 1
+	}
+	links := append([]telemetry.MatrixLink(nil), m.Links...)
+	sort.SliceStable(links, func(i, j int) bool { return links[i].Bytes > links[j].Bytes })
+	if *top > 0 && len(links) > *top {
+		links = links[:*top]
+	}
+	var msgs, bytes uint64
+	for _, l := range m.Links {
+		msgs += l.Msgs
+		bytes += l.Bytes
+	}
+	fmt.Fprintf(stdout, "run %s: %d ranks, %d links, %d msgs, %d bytes\n", runID, m.Ranks, len(m.Links), msgs, bytes)
+	w := tabwriter.NewWriter(stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "SRC\tDST\tMSGS\tBYTES\tCALLS\tLAT-S")
+	for _, l := range links {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%.6f\n", l.Src, l.Dst, l.Msgs, l.Bytes, l.Calls, l.LatSeconds)
+	}
+	w.Flush()
+	if p != nil && len(p.Profiles) > 0 {
+		fmt.Fprintln(stdout)
+		w = tabwriter.NewWriter(stdout, 2, 0, 2, ' ', 0)
+		fmt.Fprintln(w, "RANK\tCOMP\tCOMM\tSYNC\tIDLE\tPACK\tRECOVERY\tBUSY%")
+		for _, rp := range p.Profiles {
+			fmt.Fprintf(w, "%d\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.6f\t%.1f\n",
+				rp.Rank, rp.Comp, rp.Comm, rp.Sync, rp.Idle, rp.Pack, rp.Recovery, 100*rp.Busy())
+		}
+		w.Flush()
+	}
+	return 0
+}

@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+
+	"opalperf/internal/archive"
+	"opalperf/internal/telemetry"
+)
+
+// Frame sources: a live /streamz SSE endpoint, a JSONL journal file, or
+// a run archive.  Replay folds a run's lifecycle events back into the
+// same Frame shape the stream pushes, so post-hoc and live rendering
+// share one code path.
+
+// streamFrames connects to a /streamz endpoint and invokes render for
+// each pushed snapshot until the stream ends or render returns false.
+func streamFrames(url string, render func(Frame) bool) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("opaltop: %s: %s", url, resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		payload, ok := strings.CutPrefix(line, "data: ")
+		if !ok {
+			continue // SSE comments and blank separators
+		}
+		var snap telemetry.StreamSnapshot
+		if err := json.Unmarshal([]byte(payload), &snap); err != nil {
+			return fmt.Errorf("opaltop: bad snapshot: %w", err)
+		}
+		if !render(Frame{StreamSnapshot: snap, Source: "stream"}) {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// journalEvent is the decoded slice of one journal line that replay
+// cares about; unknown event types only bump counters.
+type journalEvent struct {
+	Run      string                  `json:"run"`
+	Type     string                  `json:"type"`
+	Error    string                  `json:"error"`
+	Ranks    int                     `json:"ranks"`
+	Links    []telemetry.MatrixLink  `json:"links"`
+	Profiles []telemetry.RankProfile `json:"profiles"`
+}
+
+// replayState folds journal events into a Frame.
+type replayState struct {
+	f Frame
+}
+
+func newReplay(source string) *replayState {
+	return &replayState{f: Frame{
+		Source: source,
+		StreamSnapshot: telemetry.StreamSnapshot{
+			HealthOK: true,
+			Metrics:  map[string]float64{},
+		},
+	}}
+}
+
+func (r *replayState) line(data []byte) {
+	var ev journalEvent
+	if json.Unmarshal(data, &ev) != nil {
+		return
+	}
+	if ev.Run != "" {
+		r.f.Run = ev.Run
+	}
+	switch ev.Type {
+	case "comm_matrix":
+		if r.f.Matrix == nil {
+			r.f.Matrix = &telemetry.MatrixData{}
+		}
+		r.f.Matrix.Ranks = ev.Ranks
+		r.f.Matrix.Links = ev.Links
+	case "rank_profile":
+		if r.f.Matrix == nil {
+			r.f.Matrix = &telemetry.MatrixData{}
+		}
+		if ev.Ranks > r.f.Matrix.Ranks {
+			r.f.Matrix.Ranks = ev.Ranks
+		}
+		r.f.Matrix.Profiles = ev.Profiles
+	case "run_end":
+		if ev.Error != "" {
+			r.f.Health = "error: " + ev.Error
+			r.f.HealthOK = false
+		} else {
+			r.f.Health = "complete"
+		}
+	case "respawn":
+		r.f.Metrics["opal_supervisor_respawns_total"]++
+		r.f.Metrics["opal_supervisor_deaths_total"]++
+	case "recovery":
+		r.f.Metrics["opal_md_recoveries_total"]++
+	case "checkpoint":
+		r.f.Metrics["opal_md_checkpoints_total"]++
+	case "supervisor_degraded":
+		r.f.Health = "degraded"
+		r.f.HealthOK = false
+	}
+	// Matrix-derived fleet totals beat counting events: the comm_matrix
+	// record carries the authoritative msgs/bytes.
+	if r.f.Matrix != nil {
+		var msgs, bytes float64
+		for _, l := range r.f.Matrix.Links {
+			msgs += float64(l.Msgs)
+			bytes += float64(l.Bytes)
+		}
+		r.f.Metrics["opal_pvm_messages_sent_total"] = msgs
+		r.f.Metrics["opal_pvm_bytes_sent_total"] = bytes
+	}
+}
+
+func (r *replayState) frame() Frame {
+	if r.f.Health == "" {
+		r.f.Health = "in progress"
+	}
+	return r.f
+}
+
+// journalFrame replays a JSONL journal file into its final frame.
+func journalFrame(path string) (Frame, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Frame{}, err
+	}
+	defer f.Close()
+	rs := newReplay("journal")
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		rs.line(sc.Bytes())
+	}
+	if err := sc.Err(); err != nil {
+		return Frame{}, err
+	}
+	return rs.frame(), nil
+}
+
+// archiveFrame replays a run's archived events into its final frame.
+// An empty runID picks the newest archived summary's run.
+func archiveFrame(dir, runID string) (Frame, error) {
+	a, err := archive.Open(dir)
+	if err != nil {
+		return Frame{}, err
+	}
+	defer a.Close()
+	if runID == "" {
+		sums := a.Summaries(archive.Query{})
+		if len(sums) == 0 {
+			return Frame{}, fmt.Errorf("opaltop: archive %s holds no run summaries", dir)
+		}
+		runID = sums[len(sums)-1].Run
+	}
+	recs := a.Select(archive.Query{Kind: archive.KindEvent, Run: runID})
+	if len(recs) == 0 {
+		return Frame{}, fmt.Errorf("opaltop: no archived events for run %q", runID)
+	}
+	rs := newReplay("archive")
+	for _, rec := range recs {
+		rs.line(rec.Data)
+	}
+	fr := rs.frame()
+	fr.Run = runID
+	return fr, nil
+}
+
+// fetchOnce grabs exactly one frame from a /streamz endpoint.
+func fetchOnce(url string) (Frame, error) {
+	var got Frame
+	var seen bool
+	err := streamFrames(url, func(f Frame) bool {
+		got, seen = f, true
+		return false
+	})
+	if err != nil {
+		return Frame{}, err
+	}
+	if !seen {
+		return Frame{}, io.ErrUnexpectedEOF
+	}
+	return got, nil
+}

@@ -159,6 +159,7 @@ func New(cfg Config) *Server {
 func (s *Server) Start() {
 	s.pool.start()
 	telemetry.RegisterHealth("ctlplane", s.healthDetail)
+	telemetry.RegisterStreamExtra("ctlplane", s.streamExtra)
 	telemetry.Emit("service_start", telemetry.F{
 		"workers": s.cfg.Workers, "queue_cap": s.cfg.QueueCap,
 	})
@@ -186,6 +187,19 @@ func (s *Server) Drain() {
 	s.pool.drain()
 	telemetry.Emit("drain_done", telemetry.F{})
 	telemetry.RegisterHealth("ctlplane", nil)
+	telemetry.RegisterStreamExtra("ctlplane", nil)
+}
+
+// streamExtra is the control plane's contribution to /streamz snapshots:
+// queue pressure, running jobs and breaker state.
+func (s *Server) streamExtra() any {
+	return map[string]any{
+		"queue_depth":  s.q.depth(),
+		"queue_cap":    s.cfg.QueueCap,
+		"jobs_running": mJobsRunning.Value(),
+		"breaker_open": s.brk.openCount(),
+		"draining":     s.pool.draining.Load(),
+	}
 }
 
 // Draining reports whether a drain has started.

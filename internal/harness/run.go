@@ -112,6 +112,19 @@ func Run(spec RunSpec) (RunOutcome, error) {
 			return cancel()
 		}
 	}
+	if every := telemetry.MatrixEmitEvery(); telemetry.MatrixEnabled() && every > 0 {
+		// Periodic comm_matrix/rank_profile journal records; the final
+		// state is emitted after the run regardless.
+		prev := opts.AfterStep
+		opts.AfterStep = func(step int, info md.StepInfo) {
+			if prev != nil {
+				prev(step, info)
+			}
+			if (step+1)%every == 0 {
+				telemetry.EmitMatrix()
+			}
+		}
+	}
 	sim.SpawnRoot("opal-client", func(t pvm.Task) {
 		if spec.Oracle != nil {
 			// The hooks run on the client goroutine while it holds the
@@ -150,6 +163,7 @@ func Run(spec RunSpec) (RunOutcome, error) {
 	if spec.Oracle != nil {
 		spec.Oracle.Finish(res.EndSeconds)
 	}
+	telemetry.EmitMatrix()
 	telemetry.Emit("run_end", telemetry.F{
 		"wall": out.Wall, "steps": len(res.Steps),
 		"respawns": res.Respawns, "recoveries": res.Recoveries,

@@ -66,6 +66,14 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 		}
 	})
 	lod := svcs != nil && registerDirects(t, tids, svcs)
+	// Pin the comm-matrix rank assignment to the MD topology: the client
+	// is rank 0, server i is rank i+1.  A replacement server inherits the
+	// dead rank (see healFrom), so its traffic lands in the same
+	// row/column across a heal.
+	telemetry.MapRank(t.TID(), 0)
+	for i, tid := range tids {
+		telemetry.MapRank(tid, i+1)
+	}
 	conn := sciddle.Connect(t, tids)
 	conn.SetAccounting(accounting)
 	conn.SetLoD(lod)
@@ -236,6 +244,7 @@ func RunParallel(t pvm.Task, sys *molecule.System, opts Options, nservers, steps
 			res.LostTIDs = append(res.LostTIDs, se.TID)
 			conn.ReplaceServer(se.Server, newTID)
 			res.ServerTIDs[se.Server] = newTID
+			telemetry.MapRank(newTID, se.Server+1)
 			res.Respawns++
 			healed = true
 			telemetry.Emit("respawn", telemetry.F{

@@ -70,6 +70,25 @@ func (o *Oracle) Snapshot() Snapshot {
 	return s
 }
 
+// StreamExtra is the oracle's compact contribution to /streamz
+// snapshots: window/anomaly counts and the last window's per-term
+// z-scores.  Register it with
+// telemetry.RegisterStreamExtra("oracle", o.StreamExtra).
+func (o *Oracle) StreamExtra() any {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	ex := map[string]any{"windows": o.windows, "anomalies": o.anomalies}
+	if o.last != nil {
+		z := make(map[string]float64, len(o.last.Terms))
+		for _, t := range o.last.Terms {
+			z[t.Term] = t.Z
+		}
+		ex["window"] = o.last.Index
+		ex["z"] = z
+	}
+	return ex
+}
+
 // Handler serves the snapshot as JSON; mount it on the telemetry plane
 // with telemetry.Handle("/modelz", o.Handler()).
 func (o *Oracle) Handler() http.Handler {

@@ -126,6 +126,7 @@ func (t *simTask) Send(dst, tag int, b *Buffer) {
 	b.sent = true
 	telemetry.PvmMsgsSent.Add(1)
 	telemetry.PvmBytesSent.Add(uint64(b.Bytes()))
+	telemetry.MatrixRecord(t.TID(), dst, 1, uint64(b.Bytes()))
 	t.proc.Send(dst, tag, b, b.Bytes())
 }
 
@@ -137,6 +138,7 @@ func (t *simTask) Mcast(dsts []int, tag int, b *Buffer) {
 	telemetry.PvmMsgsSent.Add(uint64(len(dsts)))
 	telemetry.PvmBytesSent.Add(uint64(len(dsts) * b.Bytes()))
 	for _, d := range dsts {
+		telemetry.MatrixRecord(t.TID(), d, 1, uint64(b.Bytes()))
 		t.proc.Send(d, tag, b, b.Bytes())
 	}
 }

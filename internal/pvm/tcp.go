@@ -1032,6 +1032,7 @@ func (t *tcpTask) Send(dst, tag int, b *Buffer) {
 	}
 	telemetry.PvmMsgsSent.Add(1)
 	telemetry.PvmBytesSent.Add(uint64(b.Bytes()))
+	telemetry.MatrixRecord(t.tid, dst, 1, uint64(b.Bytes()))
 	// Local fast path.
 	t.vm.mu.Lock()
 	local := t.vm.tasks[dst]

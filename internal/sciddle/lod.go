@@ -167,6 +167,7 @@ func (c *Conn) macroPhasePacked(method string, pack func(i int, args *pvm.Buffer
 		st.BytesIn += mt.RepBytes[i]
 		st.tBytesIn.Add(uint64(mt.RepBytes[i]))
 		st.tLat.Observe(mt.Collect[i] - mt.Issue[i])
+		telemetry.MatrixRecordLatency(c.t.TID(), c.servers[i], mt.Collect[i]-mt.Issue[i])
 		pvm.ReportFlow(c.t, method, c.servers[i], mt.Issue[i], mt.Collect[i])
 	}
 	c.lodMacro++

@@ -431,6 +431,7 @@ func (p *Pending) Wait() *pvm.Buffer {
 	st.BytesIn += b.Bytes()
 	st.tBytesIn.Add(uint64(b.Bytes()))
 	st.tLat.Observe(now - p.t0)
+	telemetry.MatrixRecordLatency(p.c.t.TID(), p.server, now-p.t0)
 	pvm.ReportFlow(p.c.t, p.method, p.server, p.t0, now)
 	p.reply = b
 	p.done = true
@@ -453,6 +454,7 @@ func (p *Pending) WaitErr() (*pvm.Buffer, error) {
 	}
 	now := p.c.t.Now()
 	st.tLat.Observe(now - p.t0)
+	telemetry.MatrixRecordLatency(p.c.t.TID(), p.server, now-p.t0)
 	pvm.ReportFlow(p.c.t, p.method, p.server, p.t0, now)
 	p.reply = b
 	p.done = true
@@ -579,6 +581,7 @@ func (c *Conn) CallPhasePacked(method string, pack func(i int, args *pvm.Buffer)
 		st.BytesIn += b.Bytes()
 		st.tBytesIn.Add(uint64(b.Bytes()))
 		st.tLat.Observe(now - c.callT0s[i])
+		telemetry.MatrixRecordLatency(c.t.TID(), c.servers[i], now-c.callT0s[i])
 		pvm.ReportFlow(c.t, method, c.servers[i], c.callT0s[i], now)
 		c.replies[i] = b
 	}
@@ -626,6 +629,7 @@ func (c *Conn) CallPhasePackedErr(method string, pack func(i int, args *pvm.Buff
 		}
 		now := c.t.Now()
 		st.tLat.Observe(now - c.callT0s[i])
+		telemetry.MatrixRecordLatency(c.t.TID(), c.servers[i], now-c.callT0s[i])
 		pvm.ReportFlow(c.t, method, c.servers[i], c.callT0s[i], now)
 		c.replies[i] = b
 	}

@@ -42,6 +42,7 @@ func Handle(pattern string, h http.Handler) {
 //
 //	/metrics       Prometheus text exposition of the Default registry
 //	/healthz       JSON health: 200 while healthy/healing, 503 once degraded
+//	/streamz       server-sent events: coalesced telemetry snapshots
 //	/debug/pprof/  net/http/pprof profiles
 //
 // plus any endpoints registered via Handle (e.g. the oracle's /modelz).
@@ -83,6 +84,7 @@ func Handler() http.Handler {
 		}
 		fmt.Fprint(w, "}\n")
 	})
+	mux.HandleFunc("/streamz", streamzHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -129,6 +131,9 @@ func ServeHandler(addr string, h http.Handler) (bound string, stop func(), err e
 	}
 	go srv.Serve(ln)
 	stop = func() {
+		// SSE handlers block on their subscription channel; close the
+		// streams first so they return and Shutdown can drain cleanly.
+		CloseStreams()
 		ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {

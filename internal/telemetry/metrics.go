@@ -87,6 +87,33 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	}
 }
 
+// valuer is implemented by metrics that can report their current values
+// as flat name→value pairs (labels rendered prometheus-style into the
+// name).  The streaming plane snapshots the registry through it.
+type valuer interface {
+	values(out map[string]float64)
+}
+
+// Values returns a flat snapshot of every registered metric's current
+// value: counters and gauges under their name, vec children as
+// `name{label="val"}`, histograms as `name_count` and `name_sum`.
+func (r *Registry) Values() map[string]float64 {
+	r.mu.Lock()
+	ms := append([]metric(nil), r.metrics...)
+	r.mu.Unlock()
+	out := make(map[string]float64, 2*len(ms))
+	for _, m := range ms {
+		if v, ok := m.(valuer); ok {
+			v.values(out)
+		}
+	}
+	return out
+}
+
+func labeled(name, label, val string) string {
+	return fmt.Sprintf("%s{%s=%q}", name, label, promLabelEscape(val))
+}
+
 // promLabelEscaper implements the text-format escaping for label values:
 // exactly backslash, double-quote and newline.  Go's %q is not a
 // substitute — it also escapes tabs and non-ASCII runes with sequences
@@ -150,6 +177,8 @@ func (c *Counter) writeProm(w io.Writer) {
 	fmt.Fprintf(w, "%s %d\n", c.name, c.Value())
 }
 
+func (c *Counter) values(out map[string]float64) { out[c.name] = float64(c.Value()) }
+
 // Gauge is a settable instantaneous value (e.g. the supervisor's state).
 type Gauge struct {
 	name, help string
@@ -180,6 +209,8 @@ func (g *Gauge) writeProm(w io.Writer) {
 	writeHeader(w, g.name, g.help, "gauge")
 	fmt.Fprintf(w, "%s %d\n", g.name, g.Value())
 }
+
+func (g *Gauge) values(out map[string]float64) { out[g.name] = float64(g.Value()) }
 
 // FGauge is a settable float-valued gauge — the model oracle's residuals
 // and fitted machine parameters are seconds and rates, not integers.
@@ -219,6 +250,14 @@ func (g *FGauge) writeBody(w io.Writer) {
 func (g *FGauge) writeProm(w io.Writer) {
 	writeHeader(w, g.name, g.help, "gauge")
 	g.writeBody(w)
+}
+
+func (g *FGauge) values(out map[string]float64) {
+	if g.labelKey == "" {
+		out[g.name] = g.Value()
+		return
+	}
+	out[labeled(g.name, g.labelKey, g.labelVal)] = g.Value()
 }
 
 // FGaugeVec is a family of float gauges split by one label (e.g. a model
@@ -266,6 +305,14 @@ func (v *FGaugeVec) writeProm(w io.Writer) {
 	writeHeader(w, v.name, v.help, "gauge")
 	for _, val := range v.order {
 		v.children[val].writeBody(w)
+	}
+}
+
+func (v *FGaugeVec) values(out map[string]float64) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for _, val := range v.order {
+		v.children[val].values(out)
 	}
 }
 
@@ -371,6 +418,11 @@ func (h *Histogram) writeProm(w io.Writer) {
 	h.writeBody(w)
 }
 
+func (h *Histogram) values(out map[string]float64) {
+	out[h.name+"_count"+h.suffix()] = float64(h.Count())
+	out[h.name+"_sum"+h.suffix()] = h.Sum()
+}
+
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // CounterVec is a family of counters split by one label (e.g. RPC method
@@ -419,6 +471,14 @@ func (v *CounterVec) writeProm(w io.Writer) {
 	writeHeader(w, v.name, v.help, "counter")
 	for _, val := range v.order {
 		fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", v.name, v.label, promLabelEscape(val), v.children[val].Value())
+	}
+}
+
+func (v *CounterVec) values(out map[string]float64) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for _, val := range v.order {
+		out[labeled(v.name, v.label, val)] = float64(v.children[val].Value())
 	}
 }
 
@@ -472,6 +532,14 @@ func (v *HistogramVec) writeProm(w io.Writer) {
 	writeHeader(w, v.name, v.help, "histogram")
 	for _, val := range v.order {
 		v.children[val].writeBody(w)
+	}
+}
+
+func (v *HistogramVec) values(out map[string]float64) {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	for _, val := range v.order {
+		v.children[val].values(out)
 	}
 }
 

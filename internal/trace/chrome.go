@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"opalperf/internal/vm"
 )
@@ -100,6 +101,24 @@ func WriteChromeTrace(w io.Writer, r *Recorder, names map[int]string) error {
 		emit(chromeEvent{
 			Name: f.Method, Cat: "flow", Ph: "f", Bp: "e", ID: f.ID + 1,
 			Ts: f.Reply * 1e6, Pid: 0, Tid: f.Server,
+		})
+	}
+	// Per-link counter tracks ("C" events): cumulative completed calls on
+	// each client→server link, sampled at every reply — the trace-side
+	// view of the comm matrix, rendered by Perfetto as a step chart per
+	// link.
+	type linkKey struct{ client, server int }
+	flows := append([]Flow(nil), r.Flows()...)
+	sort.SliceStable(flows, func(i, j int) bool { return flows[i].Reply < flows[j].Reply })
+	counts := map[linkKey]int{}
+	for _, f := range flows {
+		k := linkKey{f.Client, f.Server}
+		counts[k]++
+		emit(chromeEvent{
+			Name: fmt.Sprintf("link %d→%d", f.Client, f.Server),
+			Cat:  "comm_matrix", Ph: "C",
+			Ts: f.Reply * 1e6, Pid: 0,
+			Args: map[string]any{"calls": counts[k]},
 		})
 	}
 	io.WriteString(bw, "]}\n")

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"opalperf/internal/telemetry"
 	"opalperf/internal/vm"
 )
 
@@ -58,6 +59,7 @@ func NewRecorder() *Recorder { return &Recorder{} }
 
 // Segment implements vm.Tracer.
 func (r *Recorder) Segment(proc int, name string, kind vm.SegKind, start, end float64) {
+	telemetry.RankSegment(proc, int(kind), end-start)
 	r.mu.Lock()
 	r.segs = append(r.segs, Segment{Proc: proc, Name: name, Kind: kind, Start: start, End: end})
 	r.mu.Unlock()

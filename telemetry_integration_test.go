@@ -39,10 +39,10 @@ func supervisedSpec(ckptSink func(*md.Checkpoint) error) harness.RunSpec {
 
 // TestTelemetryPhysicsBitIdentical pins the plane's core invariant:
 // telemetry observes a run, it never feeds back into it.  The same
-// supervised kill-schedule run with the journal, metrics, flight recorder
-// AND the model oracle armed must produce bit-identical energies to the
-// bare run — the oracle reads the trace recorder and the step counters
-// but touches neither physics nor virtual time.
+// supervised kill-schedule run with the journal, metrics, flight recorder,
+// the model oracle AND the comm-matrix instrument armed must produce
+// bit-identical energies to the bare run — the observers read the trace
+// recorder and the counters but touch neither physics nor virtual time.
 func TestTelemetryPhysicsBitIdentical(t *testing.T) {
 	run := func(withTelemetry bool) *md.Result {
 		spec := supervisedSpec(func(cp *md.Checkpoint) error { return nil })
@@ -51,6 +51,14 @@ func TestTelemetryPhysicsBitIdentical(t *testing.T) {
 			telemetry.StartJournal(io.Discard, 64)
 			defer telemetry.StopJournal()
 			defer telemetry.SetEnabled(false)
+			telemetry.EnableMatrix(true)
+			telemetry.ResetMatrix()
+			telemetry.SetMatrixEmitEvery(2)
+			defer func() {
+				telemetry.SetMatrixEmitEvery(0)
+				telemetry.EnableMatrix(false)
+				telemetry.ResetMatrix()
+			}()
 			spec.Oracle = oracle.New(oracle.Config{
 				Machine:          core.MachineFor(platform.J90(), spec.Sys.Gamma()),
 				Sys:              spec.Sys,
